@@ -1,0 +1,137 @@
+//! Workload descriptions shared by the baseline model and the ablation
+//! runner.
+
+use dalorex_graph::CsrGraph;
+use dalorex_kernels::{BfsKernel, PageRankKernel, SpmvKernel, SsspKernel, WccKernel};
+use dalorex_sim::Kernel;
+
+/// One of the applications evaluated in the paper (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Breadth-first search from a root vertex.
+    Bfs {
+        /// Root vertex.
+        root: u32,
+    },
+    /// Single-source shortest paths from a root vertex.
+    Sssp {
+        /// Root vertex.
+        root: u32,
+    },
+    /// Push-based PageRank for a fixed number of epochs.
+    PageRank {
+        /// Number of epochs.
+        epochs: usize,
+    },
+    /// Weakly connected components via label propagation.
+    Wcc,
+    /// Sparse matrix–vector multiplication with the default input vector.
+    Spmv,
+}
+
+impl Workload {
+    /// Short name used in figure output ("BFS", "WCC", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Bfs { .. } => "BFS",
+            Workload::Sssp { .. } => "SSSP",
+            Workload::PageRank { .. } => "PageRank",
+            Workload::Wcc => "WCC",
+            Workload::Spmv => "SPMV",
+        }
+    }
+
+    /// The four graph workloads of Figure 5 with the paper's defaults
+    /// (PageRank runs 10 epochs).
+    pub fn figure5_set() -> [Workload; 4] {
+        [
+            Workload::Bfs { root: 0 },
+            Workload::Wcc,
+            Workload::PageRank { epochs: 10 },
+            Workload::Sssp { root: 0 },
+        ]
+    }
+
+    /// The five workloads of Figures 7–9.
+    pub fn full_set() -> [Workload; 5] {
+        [
+            Workload::Bfs { root: 0 },
+            Workload::Wcc,
+            Workload::PageRank { epochs: 10 },
+            Workload::Sssp { root: 0 },
+            Workload::Spmv,
+        ]
+    }
+
+    /// Whether the workload requires per-epoch synchronization even on
+    /// Dalorex (only PageRank does; see Figure 5's caption).
+    pub fn requires_barrier(&self) -> bool {
+        matches!(self, Workload::PageRank { .. })
+    }
+
+    /// Instantiates the Dalorex kernel for this workload.
+    pub fn kernel(&self) -> Box<dyn Kernel> {
+        match *self {
+            Workload::Bfs { root } => Box::new(BfsKernel::new(root)),
+            Workload::Sssp { root } => Box::new(SsspKernel::new(root)),
+            Workload::PageRank { epochs } => Box::new(PageRankKernel::new(epochs)),
+            Workload::Wcc => Box::new(WccKernel::new()),
+            Workload::Spmv => Box::new(SpmvKernel::with_default_input()),
+        }
+    }
+
+    /// Whether this workload should run on a symmetrized graph (WCC labels
+    /// weakly connected components, so the undirected closure is the input).
+    pub fn wants_symmetric_graph(&self) -> bool {
+        matches!(self, Workload::Wcc)
+    }
+
+    /// Prepares a graph for this workload (symmetrizing it for WCC).
+    pub fn prepare_graph(&self, graph: &CsrGraph) -> CsrGraph {
+        if self.wants_symmetric_graph() {
+            let mut edges = graph.to_edge_list();
+            edges.symmetrize();
+            edges.dedup_and_remove_self_loops();
+            CsrGraph::from_edge_list(&edges)
+        } else {
+            graph.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalorex_graph::generators::rmat::RmatConfig;
+
+    #[test]
+    fn names_and_sets_match_the_paper() {
+        let names: Vec<&str> = Workload::figure5_set().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["BFS", "WCC", "PageRank", "SSSP"]);
+        assert_eq!(Workload::full_set().len(), 5);
+        assert!(Workload::PageRank { epochs: 3 }.requires_barrier());
+        assert!(!Workload::Bfs { root: 0 }.requires_barrier());
+    }
+
+    #[test]
+    fn kernels_are_instantiated_with_matching_names() {
+        for workload in Workload::full_set() {
+            let kernel = workload.kernel();
+            assert_eq!(kernel.name().to_uppercase(), workload.name().to_uppercase());
+        }
+    }
+
+    #[test]
+    fn wcc_prepares_a_symmetric_graph() {
+        let graph = RmatConfig::new(6, 4).seed(5).build().unwrap();
+        let prepared = Workload::Wcc.prepare_graph(&graph);
+        for v in 0..prepared.num_vertices() as u32 {
+            for (dst, _) in prepared.neighbors(v) {
+                assert!(prepared.neighbors(dst).any(|(back, _)| back == v));
+            }
+        }
+        // Other workloads leave the graph unchanged.
+        let same = Workload::Spmv.prepare_graph(&graph);
+        assert_eq!(same, graph);
+    }
+}

@@ -1,0 +1,166 @@
+//! Criterion benches mirroring each figure of the paper's evaluation at a
+//! small, fixed scale.  They execute exactly the code paths the figure
+//! binaries sweep (`fig05_ablation` … `fig10_heatmaps`) so that
+//! `cargo bench --workspace` both regression-tests the harness and records
+//! indicative timings for every experiment; the binaries remain the way to
+//! regenerate the full tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dalorex_baseline::ablation::{run_rung, AblationRung};
+use dalorex_baseline::roofline::BandwidthRoofline;
+use dalorex_baseline::Workload;
+use dalorex_bench::runner::{run_dalorex, RunOptions};
+use dalorex_graph::generators::rmat::RmatConfig;
+use dalorex_graph::CsrGraph;
+use dalorex_noc::Topology;
+
+const SCRATCHPAD: usize = 1 << 20;
+
+fn bench_graph() -> CsrGraph {
+    RmatConfig::new(9, 8).seed(42).build().unwrap()
+}
+
+fn fig5_ablation_endpoints(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig05_ablation");
+    group.sample_size(10);
+    group.bench_function("tesseract_bfs", |b| {
+        b.iter(|| {
+            let outcome = run_rung(
+                AblationRung::Tesseract,
+                &graph,
+                Workload::Bfs { root: 0 },
+                4,
+                SCRATCHPAD,
+            )
+            .unwrap();
+            black_box(outcome.cycles)
+        })
+    });
+    group.bench_function("dalorex_full_bfs", |b| {
+        b.iter(|| {
+            let outcome = run_rung(
+                AblationRung::Dalorex,
+                &graph,
+                Workload::Bfs { root: 0 },
+                4,
+                SCRATCHPAD,
+            )
+            .unwrap();
+            black_box(outcome.cycles)
+        })
+    });
+    group.finish();
+}
+
+fn fig6_strong_scaling_point(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig06_scaling");
+    group.sample_size(10);
+    for side in [2usize, 4, 8] {
+        group.bench_function(format!("bfs_{}tiles", side * side), |b| {
+            b.iter(|| {
+                let outcome = run_dalorex(
+                    &graph,
+                    Workload::Bfs { root: 0 },
+                    RunOptions::new(side, SCRATCHPAD),
+                )
+                .unwrap();
+                black_box(outcome.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig7_throughput_point(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig07_throughput");
+    group.sample_size(10);
+    for workload in [Workload::Spmv, Workload::PageRank { epochs: 2 }] {
+        group.bench_function(workload.name().to_lowercase(), |b| {
+            b.iter(|| {
+                let outcome =
+                    run_dalorex(&graph, workload, RunOptions::new(4, SCRATCHPAD)).unwrap();
+                black_box(outcome.stats.edges_per_second(1.0e9))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig8_noc_comparison_point(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig08_noc");
+    group.sample_size(10);
+    for topology in [Topology::Mesh, Topology::Torus, Topology::TorusRuche { factor: 4 }] {
+        group.bench_function(topology.name().to_lowercase(), |b| {
+            b.iter(|| {
+                let outcome = run_dalorex(
+                    &graph,
+                    Workload::Sssp { root: 0 },
+                    RunOptions::new(8, SCRATCHPAD).with_topology(topology),
+                )
+                .unwrap();
+                black_box(outcome.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig9_energy_breakdown_point(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig09_energy_breakdown");
+    group.sample_size(10);
+    group.bench_function("wcc_energy_shares", |b| {
+        b.iter(|| {
+            let outcome =
+                run_dalorex(&graph, Workload::Wcc, RunOptions::new(4, SCRATCHPAD)).unwrap();
+            black_box(outcome.energy.shares_percent())
+        })
+    });
+    group.finish();
+}
+
+fn fig10_heatmap_point(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut group = c.benchmark_group("fig10_heatmaps");
+    group.sample_size(10);
+    for topology in [Topology::Mesh, Topology::Torus] {
+        group.bench_function(format!("sssp_utilization_{}", topology.name().to_lowercase()), |b| {
+            b.iter(|| {
+                let outcome = run_dalorex(
+                    &graph,
+                    Workload::Sssp { root: 0 },
+                    RunOptions::new(8, SCRATCHPAD).with_topology(topology),
+                )
+                .unwrap();
+                black_box(outcome.stats.router_utilization_grid().variation())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn roofline_analysis(c: &mut Criterion) {
+    c.bench_function("polygraph_roofline_sweep", |b| {
+        b.iter(|| {
+            let roofline = BandwidthRoofline::polygraph_like();
+            let total: f64 = (1..=128).map(|cores| roofline.achievable_edges_per_s(cores)).sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    fig5_ablation_endpoints,
+    fig6_strong_scaling_point,
+    fig7_throughput_point,
+    fig8_noc_comparison_point,
+    fig9_energy_breakdown_point,
+    fig10_heatmap_point,
+    roofline_analysis
+);
+criterion_main!(figures);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the simulator's hot paths: graph
+//! generation, CSR construction, data-placement arithmetic, queue
+//! operations and raw NoC message movement.  These guard the performance of
+//! the substrate the figure experiments are built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dalorex_graph::generators::rmat::RmatConfig;
+use dalorex_graph::CsrGraph;
+use dalorex_noc::message::Message;
+use dalorex_noc::network::Network;
+use dalorex_noc::topology::{GridShape, Topology};
+use dalorex_noc::NocConfig;
+use dalorex_sim::placement::{ArraySpace, Placement, VertexPlacement};
+use dalorex_sim::queues::WordQueue;
+
+fn bench_rmat_generation(c: &mut Criterion) {
+    c.bench_function("rmat_scale10_generation", |b| {
+        b.iter(|| {
+            let graph = RmatConfig::new(10, 8).seed(7).build().unwrap();
+            black_box(graph.num_edges())
+        })
+    });
+}
+
+fn bench_csr_round_trip(c: &mut Criterion) {
+    let edges = RmatConfig::new(10, 8).seed(7).build_edge_list().unwrap();
+    c.bench_function("csr_from_edge_list_scale10", |b| {
+        b.iter(|| black_box(CsrGraph::from_edge_list(&edges).num_edges()))
+    });
+}
+
+fn bench_placement_mapping(c: &mut Criterion) {
+    let placement = Placement::new(256, 1 << 20, 10 << 20, VertexPlacement::Interleaved);
+    c.bench_function("placement_owner_and_local_1M_lookups", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in (0..(1 << 20)).step_by(17) {
+                acc += placement.owner(ArraySpace::Vertex, i);
+                acc += placement.to_local(ArraySpace::Edge, i);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_word_queue(c: &mut Criterion) {
+    c.bench_function("word_queue_push_pop_4k", |b| {
+        b.iter(|| {
+            let mut queue = WordQueue::new(4096);
+            for i in 0..1024u32 {
+                queue.try_push(&[i, i + 1, i + 2]);
+            }
+            let mut acc = 0u32;
+            while let Some(word) = queue.pop_word() {
+                acc = acc.wrapping_add(word);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_noc_uniform_traffic(c: &mut Criterion) {
+    c.bench_function("torus_8x8_uniform_traffic_drain", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NocConfig::new(GridShape::new(8, 8), Topology::Torus));
+            for src in 0..64usize {
+                let dst = (src * 29 + 7) % 64;
+                let _ = net.try_inject(src, Message::new(dst, 0, vec![src as u32, 1]));
+            }
+            let mut cycles = 0;
+            while net.in_flight() > 0 && cycles < 10_000 {
+                net.cycle();
+                cycles += 1;
+            }
+            for tile in 0..64 {
+                while net.pop_delivered(tile).is_some() {}
+            }
+            black_box(net.stats().delivered_messages)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rmat_generation,
+    bench_csr_round_trip,
+    bench_placement_mapping,
+    bench_word_queue,
+    bench_noc_uniform_traffic
+);
+criterion_main!(benches);

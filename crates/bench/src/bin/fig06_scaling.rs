@@ -1,0 +1,89 @@
+//! Figure 6 + Section V-B: strong scaling of BFS over RMAT datasets —
+//! runtime (cycles) and energy (Joules) as the tile count grows, with the
+//! per-tile memory annotation, plus the two knee points the paper calls
+//! out: performance stops scaling when a tile holds fewer than ~1,000
+//! vertices, and energy is minimal around ~10,000 vertices per tile.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dalorex-bench --release --bin fig06_scaling [-- --csv]
+//! ```
+
+use dalorex_baseline::Workload;
+use dalorex_bench::report::Table;
+use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
+use dalorex_bench::datasets;
+use dalorex_graph::datasets::DatasetLabel;
+
+fn main() {
+    let max_side = datasets::max_grid_side();
+    let labels = DatasetLabel::figure6_set();
+    let workload = Workload::Bfs { root: 0 };
+
+    let mut table = Table::new(vec![
+        "dataset",
+        "tiles",
+        "vertices/tile",
+        "KB/tile",
+        "runtime-cycles",
+        "energy-J",
+    ]);
+    let mut knees = Table::new(vec![
+        "dataset",
+        "fastest tiles",
+        "vertices/tile at perf limit",
+        "energy-optimal tiles",
+        "vertices/tile at energy optimum",
+    ]);
+
+    for label in labels {
+        let graph = datasets::build(label);
+        let mut best_cycles: Option<(usize, u64)> = None;
+        let mut best_energy: Option<(usize, f64)> = None;
+        for side in scaling_sides(max_side) {
+            let tiles = side * side;
+            let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
+            let outcome = match run_dalorex(&graph, workload, RunOptions::new(side, scratchpad)) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    eprintln!("skipping {} on {tiles} tiles: {err}", label.as_str());
+                    continue;
+                }
+            };
+            let vertices_per_tile = graph.num_vertices().div_ceil(tiles);
+            let kb_per_tile = (2 * graph.num_vertices().div_ceil(tiles)
+                + 2 * graph.num_edges().div_ceil(tiles))
+                * 4
+                / 1024;
+            let energy = outcome.total_energy_j();
+            table.push_row(vec![
+                label.as_str(),
+                tiles.to_string(),
+                vertices_per_tile.to_string(),
+                kb_per_tile.to_string(),
+                outcome.cycles.to_string(),
+                format!("{energy:.3e}"),
+            ]);
+            if best_cycles.map(|(_, c)| outcome.cycles < c).unwrap_or(true) {
+                best_cycles = Some((tiles, outcome.cycles));
+            }
+            if best_energy.map(|(_, e)| energy < e).unwrap_or(true) {
+                best_energy = Some((tiles, energy));
+            }
+        }
+        if let (Some((perf_tiles, _)), Some((energy_tiles, _))) = (best_cycles, best_energy) {
+            knees.push_row(vec![
+                label.as_str(),
+                perf_tiles.to_string(),
+                graph.num_vertices().div_ceil(perf_tiles).to_string(),
+                energy_tiles.to_string(),
+                graph.num_vertices().div_ceil(energy_tiles).to_string(),
+            ]);
+        }
+    }
+
+    table.print("Figure 6: BFS strong scaling on RMAT datasets (runtime and energy)");
+    knees.print(
+        "Section V-B knees: paper reports the parallelization limit near ~1k vertices/tile and the energy optimum near ~10k vertices/tile",
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 7: throughput (edges/s and operations/s) and average memory
+//! bandwidth while strong-scaling the largest RMAT dataset across grid
+//! sizes, for all five applications.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dalorex-bench --release --bin fig07_throughput [-- --csv]
+//! ```
+
+use dalorex_baseline::Workload;
+use dalorex_bench::datasets;
+use dalorex_bench::report::Table;
+use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
+use dalorex_graph::datasets::DatasetLabel;
+use dalorex_sim::energy::EnergyConstants;
+
+fn main() {
+    let max_side = datasets::max_grid_side();
+    // The paper scales RMAT-26; the catalog reduces it while keeping it the
+    // largest dataset of the suite.
+    let label = DatasetLabel::Rmat(26);
+    let graph = datasets::build(label);
+    let clock = EnergyConstants::paper_7nm().clock_hz;
+
+    let mut table = Table::new(vec![
+        "app",
+        "tiles",
+        "edges/s",
+        "operations/s",
+        "avg-memory-BW (B/s)",
+        "peak-memory-BW (B/s)",
+    ]);
+
+    for workload in Workload::full_set() {
+        // Start the sweep at 16 tiles as the paper starts at 256; small
+        // grids make the reduced dataset trivially fast.
+        for side in scaling_sides(max_side).into_iter().filter(|&s| s >= 4) {
+            let tiles = side * side;
+            let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
+            let outcome = match run_dalorex(&graph, workload, RunOptions::new(side, scratchpad)) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    eprintln!("skipping {} on {tiles} tiles: {err}", workload.name());
+                    continue;
+                }
+            };
+            let peak = tiles as f64 * 8.0 * clock;
+            table.push_row(vec![
+                workload.name().to_string(),
+                tiles.to_string(),
+                format!("{:.3e}", outcome.stats.edges_per_second(clock)),
+                format!("{:.3e}", outcome.stats.operations_per_second(clock)),
+                format!("{:.3e}", outcome.memory_bandwidth_bytes_per_s),
+                format!("{peak:.3e}"),
+            ]);
+        }
+    }
+
+    table.print(&format!(
+        "Figure 7: throughput and memory bandwidth scaling ({} at reproduction scale)",
+        label.as_str()
+    ));
+}

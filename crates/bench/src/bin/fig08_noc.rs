@@ -1,0 +1,83 @@
+//! Figure 8: performance improvement of the 2D torus and the torus with
+//! ruche channels over the 2D mesh, for all five applications on the
+//! Wikipedia, LiveJournal, RMAT-22 and RMAT-26 datasets.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dalorex-bench --release --bin fig08_noc [-- --csv]
+//! ```
+
+use dalorex_baseline::Workload;
+use dalorex_bench::datasets;
+use dalorex_bench::report::Table;
+use dalorex_bench::runner::{run_dalorex, RunOptions};
+use dalorex_graph::datasets::DatasetLabel;
+use dalorex_noc::Topology;
+
+fn main() {
+    let labels = [
+        DatasetLabel::Wikipedia,
+        DatasetLabel::LiveJournal,
+        DatasetLabel::Rmat(22),
+        DatasetLabel::Rmat(26),
+    ];
+    let topologies = [
+        Topology::Mesh,
+        Topology::Torus,
+        Topology::TorusRuche { factor: 4 },
+    ];
+    let max_side = datasets::max_grid_side();
+
+    let mut table = Table::new(vec![
+        "app",
+        "dataset",
+        "tiles",
+        "topology",
+        "cycles",
+        "speedup-vs-mesh",
+    ]);
+
+    for workload in Workload::full_set() {
+        for label in labels {
+            // The paper runs RMAT-26 on 64x64 tiles and the rest on 16x16;
+            // scale both down proportionally to the configured cap.
+            let side = if matches!(label, DatasetLabel::Rmat(26)) {
+                max_side
+            } else {
+                (max_side / 4).max(4)
+            };
+            let graph = datasets::build(label);
+            let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
+            let mut mesh_cycles: Option<u64> = None;
+            for topology in topologies {
+                let outcome = match run_dalorex(
+                    &graph,
+                    workload,
+                    RunOptions::new(side, scratchpad).with_topology(topology),
+                ) {
+                    Ok(outcome) => outcome,
+                    Err(err) => {
+                        eprintln!(
+                            "skipping {} / {} / {}: {err}",
+                            workload.name(),
+                            label.as_str(),
+                            topology.name()
+                        );
+                        continue;
+                    }
+                };
+                let mesh = *mesh_cycles.get_or_insert(outcome.cycles);
+                table.push_row(vec![
+                    workload.name().to_string(),
+                    label.as_str(),
+                    (side * side).to_string(),
+                    topology.name().to_string(),
+                    outcome.cycles.to_string(),
+                    format!("{:.2}", mesh as f64 / outcome.cycles.max(1) as f64),
+                ]);
+            }
+        }
+    }
+
+    table.print("Figure 8: Torus and Torus-Ruche performance improvement over Mesh");
+}

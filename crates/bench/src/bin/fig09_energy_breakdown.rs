@@ -1,0 +1,65 @@
+//! Figure 9: breakdown of the energy consumed by the computing logic, the
+//! SRAM cells and the network, as a percentage of the total, for all five
+//! applications across four datasets.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dalorex-bench --release --bin fig09_energy_breakdown [-- --csv]
+//! ```
+
+use dalorex_baseline::Workload;
+use dalorex_bench::datasets;
+use dalorex_bench::report::Table;
+use dalorex_bench::runner::{run_dalorex, RunOptions};
+use dalorex_graph::datasets::DatasetLabel;
+
+fn main() {
+    let labels = [
+        DatasetLabel::Wikipedia,
+        DatasetLabel::LiveJournal,
+        DatasetLabel::Rmat(22),
+        DatasetLabel::Rmat(26),
+    ];
+    let max_side = datasets::max_grid_side();
+
+    let mut table = Table::new(vec![
+        "app",
+        "dataset",
+        "tiles",
+        "logic-%",
+        "memory-%",
+        "network-%",
+        "total-J",
+    ]);
+
+    for workload in Workload::full_set() {
+        for label in labels {
+            let side = if matches!(label, DatasetLabel::Rmat(26)) {
+                max_side
+            } else {
+                (max_side / 4).max(4)
+            };
+            let graph = datasets::build(label);
+            let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
+            let outcome = match run_dalorex(&graph, workload, RunOptions::new(side, scratchpad)) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    eprintln!("skipping {} / {}: {err}", workload.name(), label.as_str());
+                    continue;
+                }
+            };
+            let (logic, memory, network) = outcome.energy.shares_percent();
+            table.push_row(vec![
+                workload.name().to_string(),
+                label.as_str(),
+                (side * side).to_string(),
+                format!("{logic:.1}"),
+                format!("{memory:.1}"),
+                format!("{network:.1}"),
+                format!("{:.3e}", outcome.total_energy_j()),
+            ]);
+        }
+    }
+
+    table.print("Figure 9: energy breakdown (logic / memory / network), % of total");
+}

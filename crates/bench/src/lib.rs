@@ -1,0 +1,31 @@
+//! Benchmark harness for the Dalorex reproduction.
+//!
+//! Every table and figure of the paper's evaluation (Section V) has a
+//! regeneration target in this crate:
+//!
+//! | Paper artefact | Binary (`cargo run -p dalorex-bench --release --bin …`) |
+//! |---|---|
+//! | Figure 5 (performance & energy vs. Tesseract, ablation ladder) + the Section V-A geomean factors | `fig05_ablation` |
+//! | Figure 6 (BFS strong scaling: runtime and energy vs. core count) + the Section V-B knee points | `fig06_scaling` |
+//! | Figure 7 (throughput and memory bandwidth vs. grid size) | `fig07_throughput` |
+//! | Figure 8 (mesh vs. torus vs. torus-ruche speedups) | `fig08_noc` |
+//! | Figure 9 (energy breakdown: logic / memory / network) | `fig09_energy_breakdown` |
+//! | Figure 10 (PU and router utilization heatmaps) | `fig10_heatmaps` |
+//! | Section V-A area / power-density claims | `area_report` |
+//!
+//! All binaries print aligned tables (and `--csv` prints machine-readable
+//! CSV).  By default they run at a reduced *reproduction scale* so the whole
+//! suite completes on a laptop; set `DALOREX_SCALE_SHIFT` (smaller shift =
+//! bigger graphs, 0 = the paper's original sizes) and `DALOREX_MAX_SIDE`
+//! to push the experiments toward the paper's scale.
+//!
+//! The Criterion benches under `benches/` exercise the same code paths at
+//! small fixed sizes so `cargo bench --workspace` provides regression
+//! tracking for the simulator's hot loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,180 @@
+//! Table and CSV reporting used by the figure binaries.
+
+use serde::Serialize;
+
+/// A simple aligned-text table, printed like the rows of a paper figure.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, width)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}"));
+            }
+            out.push('\n');
+        };
+        render(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table as text, or CSV when the command line contains
+    /// `--csv`.
+    pub fn print(&self, title: &str) {
+        let csv = std::env::args().any(|a| a == "--csv");
+        println!("# {title}");
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_text());
+        }
+        println!();
+    }
+}
+
+/// One measured cell of a figure, serializable for downstream plotting.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Measurement {
+    /// Which figure or table this belongs to ("fig5-perf", "fig6", ...).
+    pub experiment: String,
+    /// Workload name.
+    pub workload: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Configuration label (ablation rung, topology, grid size, ...).
+    pub configuration: String,
+    /// Runtime in cycles.
+    pub cycles: u64,
+    /// Energy in Joules.
+    pub energy_j: f64,
+    /// Figure-specific value (speedup, edges/s, percentage, ...), if any.
+    pub value: f64,
+}
+
+/// Writes measurements as a JSON array to `path` (used with `--json <path>`).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_json(path: &str, measurements: &[Measurement]) -> Result<(), Box<dyn std::error::Error>> {
+    let json = serde_json::to_string_pretty(measurements)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Formats a ratio the way the paper quotes factors ("6.2x").
+pub fn format_factor(factor: f64) -> String {
+    if factor >= 100.0 {
+        format!("{factor:.0}x")
+    } else {
+        format!("{factor:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_text_and_csv() {
+        let mut table = Table::new(vec!["config", "cycles"]);
+        table.push_row(vec!["Tesseract".to_string(), "100".to_string()]);
+        table.push_row(vec!["Dalorex".to_string(), "5".to_string()]);
+        let text = table.to_text();
+        assert!(text.contains("Tesseract"));
+        assert!(text.lines().count() >= 4);
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "config,cycles");
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut table = Table::new(vec!["a", "b"]);
+        table.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn factors_format_like_the_paper() {
+        assert_eq!(format_factor(6.23), "6.2x");
+        assert_eq!(format_factor(221.4), "221x");
+    }
+
+    #[test]
+    fn measurements_serialize() {
+        let m = Measurement {
+            experiment: "fig5-perf".into(),
+            workload: "BFS".into(),
+            dataset: "R22".into(),
+            configuration: "Dalorex".into(),
+            cycles: 123,
+            energy_j: 0.5,
+            value: 221.0,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("fig5-perf"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared simulation runners for the figure binaries and Criterion benches.
+
+use dalorex_baseline::Workload;
+use dalorex_graph::CsrGraph;
+use dalorex_noc::Topology;
+use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
+use dalorex_sim::engine::SimOutcome;
+use dalorex_sim::{SimError, Simulation};
+
+/// Options for a single Dalorex run used by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Grid side (the run uses `side x side` tiles).
+    pub side: usize,
+    /// NoC topology; `None` selects the paper default for the grid size.
+    pub topology: Option<Topology>,
+    /// Scratchpad bytes per tile.
+    pub scratchpad_bytes: usize,
+}
+
+impl RunOptions {
+    /// Creates options for a `side x side` grid with the paper-default
+    /// topology.
+    pub fn new(side: usize, scratchpad_bytes: usize) -> Self {
+        RunOptions {
+            side,
+            topology: None,
+            scratchpad_bytes,
+        }
+    }
+
+    /// Overrides the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+}
+
+/// Runs one workload on the full-Dalorex configuration (interleaved
+/// placement, traffic-aware scheduling, barrierless unless the workload
+/// needs a barrier).
+///
+/// # Errors
+///
+/// Propagates simulator errors (most commonly the dataset not fitting the
+/// per-tile scratchpad for the requested grid).
+pub fn run_dalorex(
+    graph: &CsrGraph,
+    workload: Workload,
+    options: RunOptions,
+) -> Result<SimOutcome, SimError> {
+    let prepared = workload.prepare_graph(graph);
+    let grid = GridConfig::square(options.side);
+    let mut builder = SimConfigBuilder::new(grid)
+        .scratchpad_bytes(options.scratchpad_bytes)
+        .barrier_mode(if workload.requires_barrier() {
+            BarrierMode::EpochBarrier
+        } else {
+            BarrierMode::Barrierless
+        });
+    if let Some(topology) = options.topology {
+        builder = builder.topology(topology);
+    }
+    let config = builder.build()?;
+    let sim = Simulation::new(config, &prepared)?;
+    let kernel = workload.kernel();
+    sim.run(kernel.as_ref())
+}
+
+/// Grid sides swept by the scaling figures, doubling the tile count at each
+/// step (1, 2, 4, ... up to `max_side`), mirroring the paper's powers of
+/// four in tile count.
+pub fn scaling_sides(max_side: usize) -> Vec<usize> {
+    let mut sides = Vec::new();
+    let mut side = 1;
+    while side <= max_side {
+        sides.push(side);
+        side *= 2;
+    }
+    sides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalorex_graph::generators::rmat::RmatConfig;
+
+    #[test]
+    fn run_dalorex_completes_for_every_workload_on_a_tiny_grid() {
+        let graph = RmatConfig::new(7, 5).seed(3).build().unwrap();
+        for workload in [
+            Workload::Bfs { root: 0 },
+            Workload::PageRank { epochs: 2 },
+            Workload::Spmv,
+        ] {
+            let outcome =
+                run_dalorex(&graph, workload, RunOptions::new(2, 1 << 20)).unwrap();
+            assert!(outcome.cycles > 0, "{workload:?}");
+        }
+    }
+
+    #[test]
+    fn topology_override_is_honoured() {
+        let graph = RmatConfig::new(7, 5).seed(3).build().unwrap();
+        let mesh = run_dalorex(
+            &graph,
+            Workload::Bfs { root: 0 },
+            RunOptions::new(4, 1 << 20).with_topology(Topology::Mesh),
+        )
+        .unwrap();
+        let torus = run_dalorex(
+            &graph,
+            Workload::Bfs { root: 0 },
+            RunOptions::new(4, 1 << 20).with_topology(Topology::Torus),
+        )
+        .unwrap();
+        assert!(mesh.cycles > 0 && torus.cycles > 0);
+    }
+
+    #[test]
+    fn scaling_sides_double_up_to_the_cap() {
+        assert_eq!(scaling_sides(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(scaling_sides(1), vec![1]);
+        assert_eq!(scaling_sides(12), vec![1, 2, 4, 8]);
+    }
+}

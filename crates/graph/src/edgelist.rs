@@ -1,0 +1,285 @@
+//! Weighted edge-list representation and cleanup utilities.
+//!
+//! Generators produce edge lists; [`crate::csr::CsrGraph`] is built from
+//! them. The paper stores graphs in CSR with four arrays; the edge list is
+//! the intermediate, order-insensitive form.
+
+use crate::{GraphError, VertexId, Weight};
+
+/// A single directed, weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (used by SSSP and SPMV; BFS/WCC/PageRank ignore it).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    ///
+    /// ```
+    /// use dalorex_graph::Edge;
+    /// let e = Edge::new(0, 3, 7);
+    /// assert_eq!((e.src, e.dst, e.weight), (0, 3, 7));
+    /// ```
+    pub fn new(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+
+    /// Returns the same edge with source and destination swapped.
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+/// A collection of directed edges over a fixed vertex count.
+///
+/// The vertex count is explicit (rather than inferred from the maximum
+/// vertex id) because Dalorex distributes the vertex arrays in equal chunks
+/// across tiles: isolated trailing vertices still occupy chunk space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an edge list from parts, validating that every endpoint is in
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if any edge references a
+    /// vertex `>= num_vertices`.
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Result<Self, GraphError> {
+        let mut list = EdgeList::new(num_vertices);
+        for edge in edges {
+            list.try_push(edge)?;
+        }
+        Ok(list)
+    }
+
+    /// Number of vertices the list is defined over.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges as a slice, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Appends an edge after bounds-checking both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if either endpoint is out of
+    /// range.
+    pub fn try_push(&mut self, edge: Edge) -> Result<(), GraphError> {
+        let n = self.num_vertices as u64;
+        for endpoint in [edge.src, edge.dst] {
+            if u64::from(endpoint) >= n {
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u64::from(endpoint),
+                    num_vertices: n,
+                });
+            }
+        }
+        self.edges.push(edge);
+        Ok(())
+    }
+
+    /// Appends an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range. Use [`EdgeList::try_push`]
+    /// for a fallible variant.
+    pub fn push(&mut self, edge: Edge) {
+        self.try_push(edge)
+            .expect("edge endpoints must be within the vertex range");
+    }
+
+    /// Iterates over the edges.
+    pub fn iter(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// Removes duplicate `(src, dst)` pairs, keeping the smallest weight,
+    /// and removes self-loops. Returns the number of edges removed.
+    ///
+    /// Real-world and RMAT generators both produce duplicates; the GAP
+    /// benchmark's loaders perform the same cleanup.
+    pub fn dedup_and_remove_self_loops(&mut self) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|e| e.src != e.dst);
+        self.edges
+            .sort_unstable_by_key(|e| (e.src, e.dst, e.weight));
+        self.edges.dedup_by_key(|e| (e.src, e.dst));
+        before - self.edges.len()
+    }
+
+    /// Adds the reverse of every edge (same weight), producing a symmetric
+    /// (undirected) edge set. Does not deduplicate.
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<Edge> = self.edges.iter().map(|e| e.reversed()).collect();
+        self.edges.extend(reversed);
+    }
+
+    /// Sorts edges by `(src, dst)`; useful for deterministic CSR layout.
+    pub fn sort(&mut self) {
+        self.edges.sort_unstable_by_key(|e| (e.src, e.dst));
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.num_vertices];
+        for edge in &self.edges {
+            degrees[edge.src as usize] += 1;
+        }
+        degrees
+    }
+}
+
+impl Extend<Edge> for EdgeList {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for edge in iter {
+            self.push(edge);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut list = EdgeList::new(4);
+        list.push(Edge::new(0, 1, 5));
+        list.push(Edge::new(1, 2, 1));
+        assert_eq!(list.num_edges(), 2);
+        assert_eq!(list.num_vertices(), 4);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_bounds() {
+        let mut list = EdgeList::new(2);
+        let err = list.try_push(Edge::new(0, 2, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfBounds {
+                vertex: 2,
+                num_vertices: 2
+            }
+        );
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "within the vertex range")]
+    fn push_panics_on_out_of_bounds() {
+        let mut list = EdgeList::new(1);
+        list.push(Edge::new(0, 1, 1));
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        let ok = EdgeList::from_edges(3, [Edge::new(0, 1, 1), Edge::new(2, 0, 2)]);
+        assert!(ok.is_ok());
+        let err = EdgeList::from_edges(3, [Edge::new(0, 3, 1)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn dedup_removes_self_loops_and_duplicates() {
+        let mut list = EdgeList::from_edges(
+            3,
+            [
+                Edge::new(0, 1, 9),
+                Edge::new(0, 1, 3),
+                Edge::new(1, 1, 2),
+                Edge::new(2, 0, 4),
+            ],
+        )
+        .unwrap();
+        let removed = list.dedup_and_remove_self_loops();
+        assert_eq!(removed, 2);
+        assert_eq!(list.num_edges(), 2);
+        // The kept duplicate is the one with the smallest weight.
+        let kept = list.iter().find(|e| e.src == 0 && e.dst == 1).unwrap();
+        assert_eq!(kept.weight, 3);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut list = EdgeList::from_edges(3, [Edge::new(0, 1, 1), Edge::new(1, 2, 2)]).unwrap();
+        list.symmetrize();
+        assert_eq!(list.num_edges(), 4);
+        assert!(list.iter().any(|e| e.src == 1 && e.dst == 0));
+        assert!(list.iter().any(|e| e.src == 2 && e.dst == 1));
+    }
+
+    #[test]
+    fn out_degrees_counts_sources() {
+        let list = EdgeList::from_edges(
+            4,
+            [Edge::new(0, 1, 1), Edge::new(0, 2, 1), Edge::new(3, 0, 1)],
+        )
+        .unwrap();
+        assert_eq!(list.out_degrees(), vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn reversed_edge_swaps_endpoints() {
+        let e = Edge::new(3, 7, 11);
+        let r = e.reversed();
+        assert_eq!((r.src, r.dst, r.weight), (7, 3, 11));
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut list = EdgeList::new(5);
+        list.extend([Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        let collected: Vec<_> = (&list).into_iter().copied().collect();
+        assert_eq!(collected.len(), 2);
+    }
+}

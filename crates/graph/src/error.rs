@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Error type for graph construction and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge references a vertex outside `0..num_vertices`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u64,
+        /// Number of vertices in the graph being built.
+        num_vertices: u64,
+    },
+    /// The CSR arrays are mutually inconsistent (e.g. `ptr` is not monotone,
+    /// or its last entry does not equal the edge count).
+    InconsistentCsr {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A generator was configured with parameters it cannot satisfy
+    /// (e.g. zero vertices, or probabilities that do not sum to 1).
+    InvalidGeneratorConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// The requested dataset label is not in the catalog.
+    UnknownDataset {
+        /// The label that was requested.
+        label: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} is out of bounds for a graph with {num_vertices} vertices"
+            ),
+            GraphError::InconsistentCsr { reason } => {
+                write!(f, "inconsistent CSR arrays: {reason}")
+            }
+            GraphError::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+            GraphError::UnknownDataset { label } => {
+                write!(f, "unknown dataset label: {label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = GraphError::VertexOutOfBounds {
+            vertex: 10,
+            num_vertices: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains('4'));
+
+        let err = GraphError::UnknownDataset {
+            label: "XX".to_string(),
+        };
+        assert!(err.to_string().contains("XX"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic dataset generators.
+//!
+//! The paper evaluates on synthetic RMAT graphs (up to 2^26 vertices) and
+//! three real-world graphs (Amazon, Wikipedia, LiveJournal).  This module
+//! provides:
+//!
+//! * [`rmat`] — the RMAT/Kronecker generator (Leskovec et al.), the same
+//!   family the paper's RMAT-16/22/25/26 datasets come from.
+//! * [`erdos_renyi`] — uniform random graphs, used as a low-skew contrast in
+//!   tests and ablation studies.
+//! * [`grid2d`] — regular 2D grid graphs with perfectly predictable degree,
+//!   useful to isolate NoC effects from load-imbalance effects.
+//! * [`realworld`] — scale-free generators parameterised to match the degree
+//!   distribution *shape* of the paper's Amazon, Wikipedia and LiveJournal
+//!   datasets (see `DESIGN.md` §3 for the substitution rationale).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod erdos_renyi;
+pub mod grid2d;
+pub mod realworld;
+pub mod rmat;
+
+use crate::{GraphError, Weight};
+use rand::Rng;
+
+/// Range of edge weights produced by the generators, `1..=MAX_WEIGHT`.
+///
+/// The GAP benchmark uses small positive integer weights for SSSP; any
+/// strictly positive range works, and a small one keeps distances well away
+/// from overflow even on long paths.
+pub const MAX_WEIGHT: Weight = 255;
+
+pub(crate) fn random_weight<R: Rng>(rng: &mut R) -> Weight {
+    rng.gen_range(1..=MAX_WEIGHT)
+}
+
+pub(crate) fn ensure(condition: bool, reason: &str) -> Result<(), GraphError> {
+    if condition {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidGeneratorConfig {
+            reason: reason.to_string(),
+        })
+    }
+}

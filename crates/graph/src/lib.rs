@@ -1,0 +1,63 @@
+//! Sparse-graph substrate for the Dalorex reproduction.
+//!
+//! The Dalorex paper (HPCA 2023) evaluates its data-local execution model on
+//! graph analytics (BFS, SSSP, PageRank, WCC) and sparse matrix–vector
+//! multiplication.  This crate provides everything those experiments need on
+//! the data side:
+//!
+//! * [`csr`] — the Compressed-Sparse-Row representation used by the paper
+//!   (four arrays: `ptr`, `edge_idx`, `edge_values`, plus per-vertex state),
+//!   including builders from edge lists.
+//! * [`edgelist`] — a plain weighted edge-list representation and utilities
+//!   to deduplicate, relabel and symmetrize edges.
+//! * [`generators`] — synthetic dataset generators: the RMAT/Kronecker
+//!   generator used for the paper's RMAT-16/22/25/26 datasets, uniform
+//!   Erdős–Rényi graphs, regular grids, and scale-free stand-ins for the
+//!   paper's real-world datasets (Amazon, Wikipedia, LiveJournal).
+//! * [`reference`] — sequential reference implementations of every evaluated
+//!   kernel.  The paper validates its simulator output against sequential
+//!   x86 executions; we validate against these functions.
+//! * [`stats`] — degree-distribution and partition-balance statistics used to
+//!   reason about work balance across tiles.
+//! * [`datasets`] — named dataset catalog mapping the paper's dataset labels
+//!   (AZ, WK, LJ, R16..R26) to generator configurations at reproduction
+//!   scale.
+//!
+//! # Example
+//!
+//! ```
+//! use dalorex_graph::generators::rmat::RmatConfig;
+//! use dalorex_graph::reference;
+//!
+//! # fn main() -> Result<(), dalorex_graph::GraphError> {
+//! let graph = RmatConfig::new(8, 8).seed(42).build()?;
+//! let bfs = reference::bfs(&graph, 0);
+//! assert_eq!(bfs.depths().len(), graph.num_vertices());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod generators;
+pub mod reference;
+pub mod stats;
+
+mod error;
+
+pub use csr::CsrGraph;
+pub use edgelist::{Edge, EdgeList};
+pub use error::GraphError;
+
+/// Vertex identifier. The paper uses 32-bit indices ("a 32-bit Dalorex can
+/// process graphs of up to 2^32 edges"); we use `u32` throughout.
+pub type VertexId = u32;
+
+/// Edge weight type. The paper's SSSP and SPMV use integer-valued weights in
+/// the simulator; we follow that choice so that all simulator arithmetic is
+/// exact and bit-reproducible.
+pub type Weight = u32;

@@ -1,0 +1,60 @@
+//! Graph and sparse linear algebra kernels in the Dalorex programming model.
+//!
+//! The paper evaluates four graph applications adapted from the GAP
+//! benchmark and GraphIt — Breadth-First Search, Single-Source Shortest
+//! Path, PageRank and Weakly Connected Components — plus Sparse
+//! Matrix–Vector multiplication, each split into tasks at every indirect
+//! memory access (Section IV).  This crate implements those kernels against
+//! the [`dalorex_sim::Kernel`] trait:
+//!
+//! * [`propagation`] — the shared task pipeline (T1 explore-vertex, T2
+//!   expand-edges, T3 update-vertex, T4 re-explore-frontier) used by BFS,
+//!   SSSP and WCC, which differ only in their initial values and their
+//!   edge-combining rule.
+//! * [`bfs`], [`sssp`], [`wcc`] — thin, documented fronts over the
+//!   propagation pipeline.
+//! * [`pagerank`] — push-based PageRank with per-epoch barriers, in the
+//!   fixed-point arithmetic of
+//!   [`dalorex_graph::reference::PAGERANK_ONE`].
+//! * [`spmv`] — sparse matrix–vector multiplication (`y = A·x`) with a
+//!   four-task pipeline across row, edge and column owners.
+//!
+//! Every kernel's output is validated against the sequential references in
+//! [`dalorex_graph::reference`], mirroring how the paper validates its
+//! simulator against x86 runs.
+//!
+//! # Example
+//!
+//! ```
+//! use dalorex_graph::generators::rmat::RmatConfig;
+//! use dalorex_kernels::bfs::BfsKernel;
+//! use dalorex_sim::config::{GridConfig, SimConfigBuilder};
+//! use dalorex_sim::Simulation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = RmatConfig::new(7, 6).seed(3).build()?;
+//! let config = SimConfigBuilder::new(GridConfig::square(2))
+//!     .scratchpad_bytes(512 * 1024)
+//!     .build()?;
+//! let outcome = Simulation::new(config, &graph)?.run(&BfsKernel::new(0))?;
+//! let reference = dalorex_graph::reference::bfs(&graph, 0);
+//! assert_eq!(outcome.output.as_u32_array("value"), reference.depths());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod pagerank;
+pub mod propagation;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::BfsKernel;
+pub use pagerank::PageRankKernel;
+pub use spmv::SpmvKernel;
+pub use sssp::SsspKernel;
+pub use wcc::WccKernel;

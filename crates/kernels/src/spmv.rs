@@ -1,0 +1,304 @@
+//! Sparse matrix–vector multiplication in the Dalorex programming model.
+//!
+//! SPMV computes `y = A·x` where `A` is the sparse adjacency matrix stored
+//! in CSR and `x` is a dense vector distributed across tiles like any other
+//! per-vertex array.  The paper evaluates SPMV to show that Dalorex
+//! generalises beyond graph traversal (Sections IV and V); it is also the
+//! kernel with the deepest pipeline, because each non-zero needs *two*
+//! indirections: the column owner holds `x[col]`, and the row owner holds
+//! `y[row]`:
+//!
+//! * **T1 — emit rows**: every locally owned row sends its edge range to
+//!   the edge owners.
+//! * **T2 — expand non-zeros**: for each non-zero `(row, col, a)`, send
+//!   `(col, a, row)` to the owner of `x[col]`.
+//! * **T3 — multiply**: compute `a * x[col]` and send `(row, product)` to
+//!   the owner of `y[row]`.
+//! * **T4 — accumulate**: `y[row] += product`.
+
+use dalorex_sim::kernel::{
+    ArrayInit, BootstrapContext, ChannelDecl, EpochContext, EpochDecision, Kernel,
+    LocalArrayDecl, LocalArrayLen, TaskContext, TaskDecl, TaskParams,
+};
+use dalorex_sim::ArraySpace;
+use std::sync::Arc;
+
+/// Maximum non-zeros covered by one T1→T2 message.
+const OQT2: u32 = 64;
+
+/// Kernel array holding the dense input vector `x`.
+pub const X: usize = 0;
+/// Kernel array holding the output vector `y`.
+pub const Y: usize = 1;
+
+/// Task indices.
+pub const T1_ROWS: usize = 0;
+/// See [`T1_ROWS`].
+pub const T2_NONZEROS: usize = 1;
+/// See [`T1_ROWS`].
+pub const T3_MULTIPLY: usize = 2;
+/// See [`T1_ROWS`].
+pub const T4_ACCUMULATE: usize = 3;
+
+/// Channel indices.
+pub const CQ1_TO_EDGES: usize = 0;
+/// See [`CQ1_TO_EDGES`].
+pub const CQ2_TO_COLUMNS: usize = 1;
+/// See [`CQ1_TO_EDGES`].
+pub const CQ3_TO_ROWS: usize = 2;
+
+// Per-tile scalar variables (row-emission progress).
+const V_NEXT_ROW: usize = 0;
+const V_ACTIVE: usize = 1;
+const V_BEGIN: usize = 2;
+const V_END: usize = 3;
+const NUM_VARS: usize = 4;
+
+/// Sparse matrix–vector multiplication kernel.
+///
+/// The output array `"y"` holds `y[row] = Σ A[row][col] · x[col]`,
+/// comparable to [`dalorex_graph::reference::spmv`] as long as the products
+/// stay within 32 bits (use a small input range such as the default one).
+///
+/// ```
+/// use dalorex_kernels::SpmvKernel;
+/// let kernel = SpmvKernel::with_default_input();
+/// assert_eq!(kernel.input(3), 4); // default input is (v % 16) + 1
+/// ```
+#[derive(Clone)]
+pub struct SpmvKernel {
+    x: Arc<dyn Fn(u32) -> u32 + Send + Sync>,
+}
+
+impl std::fmt::Debug for SpmvKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmvKernel").finish_non_exhaustive()
+    }
+}
+
+impl SpmvKernel {
+    /// Creates an SPMV kernel with a caller-provided dense input vector
+    /// (`x[v] = f(v)`).  Keep the values small enough that every row's dot
+    /// product fits in 32 bits.
+    pub fn new(x: Arc<dyn Fn(u32) -> u32 + Send + Sync>) -> Self {
+        SpmvKernel { x }
+    }
+
+    /// Creates an SPMV kernel with the default input `x[v] = (v % 16) + 1`.
+    pub fn with_default_input() -> Self {
+        SpmvKernel::new(Arc::new(|v| (v % 16) + 1))
+    }
+
+    /// The input vector entry for vertex `v`.
+    pub fn input(&self, v: u32) -> u32 {
+        (self.x)(v)
+    }
+
+    /// The dense input vector materialised for a graph of `n` vertices,
+    /// convenient for calling the sequential reference.
+    pub fn input_vector(&self, n: usize) -> Vec<u32> {
+        (0..n as u32).map(|v| (self.x)(v)).collect()
+    }
+
+    fn execute_rows(&self, ctx: &mut dyn TaskContext) {
+        if ctx.iq_peek().is_none() {
+            return;
+        }
+        let nlocal = ctx.num_local_vertices();
+        let chunk = ctx.edges_per_chunk() as u32;
+        let mut row = ctx.var(V_NEXT_ROW) as usize;
+        let mut resume = ctx.var(V_ACTIVE) == 1;
+        while row < nlocal {
+            let (mut begin, end) = if resume {
+                resume = false;
+                (ctx.var(V_BEGIN), ctx.var(V_END))
+            } else {
+                let begin = ctx.row_begin(row);
+                let end = ctx.row_end(row);
+                if begin == end {
+                    ctx.charge_ops(1);
+                    row += 1;
+                    continue;
+                }
+                (begin, end)
+            };
+            let row_global = ctx.global_vertex(row);
+            while begin < end {
+                let tile_boundary = (begin / chunk + 1) * chunk;
+                let piece_end = end.min(tile_boundary).min(begin + OQT2);
+                ctx.charge_ops(3);
+                if !ctx.try_send(CQ1_TO_EDGES, &[begin, piece_end - begin, row_global]) {
+                    ctx.set_var(V_ACTIVE, 1);
+                    ctx.set_var(V_NEXT_ROW, row as u32);
+                    ctx.set_var(V_BEGIN, begin);
+                    ctx.set_var(V_END, end);
+                    return;
+                }
+                begin = piece_end;
+            }
+            ctx.set_var(V_ACTIVE, 0);
+            row += 1;
+            ctx.set_var(V_NEXT_ROW, row as u32);
+        }
+        ctx.set_var(V_NEXT_ROW, 0);
+        ctx.set_var(V_ACTIVE, 0);
+        ctx.iq_pop();
+    }
+
+    fn execute_nonzeros(&self, params: &[u32], ctx: &mut dyn TaskContext) {
+        let begin = params[0] as usize;
+        let count = params[1] as usize;
+        let row_global = params[2];
+        for i in 0..count {
+            let col = ctx.edge_dst(begin + i);
+            let coefficient = ctx.edge_value(begin + i);
+            let sent = ctx.try_send(CQ2_TO_COLUMNS, &[col, coefficient, row_global]);
+            debug_assert!(sent, "TSU reserved CQ2 space before dispatching T2");
+        }
+        ctx.count_edges(count as u64);
+    }
+
+    fn execute_multiply(&self, params: &[u32], ctx: &mut dyn TaskContext) {
+        let col = params[0] as usize;
+        let coefficient = params[1];
+        let row_global = params[2];
+        let x = ctx.read(X, col);
+        let product = coefficient.wrapping_mul(x);
+        ctx.charge_ops(1);
+        let sent = ctx.try_send(CQ3_TO_ROWS, &[row_global, product]);
+        debug_assert!(sent, "TSU reserved CQ3 space before dispatching T3");
+    }
+
+    fn execute_accumulate(&self, params: &[u32], ctx: &mut dyn TaskContext) {
+        let row = params[0] as usize;
+        let product = params[1];
+        let y = ctx.read(Y, row);
+        ctx.write(Y, row, y.wrapping_add(product));
+    }
+}
+
+impl Kernel for SpmvKernel {
+    fn name(&self) -> &str {
+        "spmv"
+    }
+
+    fn tasks(&self) -> Vec<TaskDecl> {
+        vec![
+            TaskDecl::new("rows", 8, TaskParams::SelfManaged),
+            TaskDecl::new("nonzeros", 192, TaskParams::AutoPop(3))
+                .requires_cq_space(CQ2_TO_COLUMNS, 3 * OQT2 as usize),
+            TaskDecl::new("multiply", 1024, TaskParams::AutoPop(3))
+                .requires_cq_space(CQ3_TO_ROWS, 2),
+            TaskDecl::new("accumulate", 2048, TaskParams::AutoPop(2)),
+        ]
+    }
+
+    fn channels(&self) -> Vec<ChannelDecl> {
+        vec![
+            ChannelDecl::new("CQ1", T2_NONZEROS, ArraySpace::Edge, 3, 96),
+            ChannelDecl::new("CQ2", T3_MULTIPLY, ArraySpace::Vertex, 3, 4 * OQT2 as usize),
+            ChannelDecl::new("CQ3", T4_ACCUMULATE, ArraySpace::Vertex, 2, 64),
+        ]
+    }
+
+    fn arrays(&self) -> Vec<LocalArrayDecl> {
+        vec![
+            LocalArrayDecl::new(
+                "x",
+                LocalArrayLen::PerVertex,
+                ArrayInit::PerVertexFn(self.x.clone()),
+            ),
+            LocalArrayDecl::new("y", LocalArrayLen::PerVertex, ArrayInit::Zero),
+        ]
+    }
+
+    fn num_tile_vars(&self) -> usize {
+        NUM_VARS
+    }
+
+    fn output_arrays(&self) -> Vec<&'static str> {
+        vec!["y"]
+    }
+
+    fn bootstrap(&self, ctx: &mut dyn BootstrapContext) {
+        if ctx.num_local_vertices() > 0 {
+            let pushed = ctx.push_invocation(T1_ROWS, &[1]);
+            debug_assert!(pushed, "bootstrap pushes into an empty IQ");
+        }
+    }
+
+    fn execute(&self, task: usize, params: &[u32], ctx: &mut dyn TaskContext) {
+        match task {
+            T1_ROWS => self.execute_rows(ctx),
+            T2_NONZEROS => self.execute_nonzeros(params, ctx),
+            T3_MULTIPLY => self.execute_multiply(params, ctx),
+            T4_ACCUMULATE => self.execute_accumulate(params, ctx),
+            other => unreachable!("undeclared task {other}"),
+        }
+    }
+
+    fn on_global_idle(&self, _epoch: usize, _ctx: &mut dyn EpochContext) -> EpochDecision {
+        EpochDecision::Finish
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalorex_graph::generators::rmat::RmatConfig;
+    use dalorex_graph::reference;
+    use dalorex_sim::config::{GridConfig, SimConfigBuilder};
+    use dalorex_sim::{Simulation, VertexPlacement};
+
+    fn expected_u32(graph: &dalorex_graph::CsrGraph, kernel: &SpmvKernel) -> Vec<u32> {
+        let x = kernel.input_vector(graph.num_vertices());
+        reference::spmv(graph, &x)
+            .values()
+            .iter()
+            .map(|&v| u32::try_from(v).expect("test products fit in 32 bits"))
+            .collect()
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let graph = RmatConfig::new(7, 5).seed(21).build().unwrap();
+        let kernel = SpmvKernel::with_default_input();
+        let expected = expected_u32(&graph, &kernel);
+        let config = SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(512 * 1024)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let outcome = sim.run(&kernel).unwrap();
+        assert_eq!(outcome.output.as_u32_array("y"), expected);
+        // Every non-zero is processed exactly once.
+        assert_eq!(outcome.stats.edges_processed as usize, graph.num_edges());
+    }
+
+    #[test]
+    fn spmv_with_custom_input_and_chunked_placement() {
+        let graph = RmatConfig::new(6, 6).seed(4).build().unwrap();
+        let kernel = SpmvKernel::new(Arc::new(|v| (v % 7) + 1));
+        let expected = expected_u32(&graph, &kernel);
+        let config = SimConfigBuilder::new(GridConfig::new(4, 1))
+            .scratchpad_bytes(512 * 1024)
+            .vertex_placement(VertexPlacement::Chunked)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let outcome = sim.run(&kernel).unwrap();
+        assert_eq!(outcome.output.as_u32_array("y"), expected);
+    }
+
+    #[test]
+    fn default_input_is_small_and_nonzero() {
+        let kernel = SpmvKernel::with_default_input();
+        for v in 0..64 {
+            let x = kernel.input(v);
+            assert!((1..=16).contains(&x));
+        }
+        assert_eq!(kernel.input_vector(4), vec![1, 2, 3, 4]);
+        assert_eq!(kernel.name(), "spmv");
+        assert!(format!("{kernel:?}").contains("SpmvKernel"));
+    }
+}

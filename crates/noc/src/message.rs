@@ -1,0 +1,98 @@
+//! Multi-flit messages.
+//!
+//! A Dalorex message is the parameter list of a task invocation: each flit
+//! is one 32-bit parameter, and the first (head) flit is the global index of
+//! the distributed array the task will access.  The network routes on the
+//! destination tile derived from that index (the head encoder in the TSU
+//! does the index→tile mapping before injection), so no routing metadata is
+//! carried — this is the paper's "headerless task routing".
+
+use crate::{ChannelId, TileId};
+
+/// One 32-bit network flit.
+pub type Flit = u32;
+
+/// A message travelling through the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    dest: TileId,
+    channel: ChannelId,
+    payload: Vec<Flit>,
+    /// Cycle at which the message was injected; used for latency statistics.
+    pub(crate) injected_at: u64,
+}
+
+impl Message {
+    /// Creates a message destined for `dest` on logical `channel` carrying
+    /// `payload` flits (the head flit first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is empty; a message needs at least a head flit.
+    pub fn new(dest: TileId, channel: ChannelId, payload: Vec<Flit>) -> Self {
+        assert!(!payload.is_empty(), "a message needs at least a head flit");
+        Message {
+            dest,
+            channel,
+            payload,
+            injected_at: 0,
+        }
+    }
+
+    /// Destination tile.
+    pub fn dest(&self) -> TileId {
+        self.dest
+    }
+
+    /// Logical channel.
+    pub fn channel(&self) -> ChannelId {
+        self.channel
+    }
+
+    /// The flits, head first.
+    pub fn payload(&self) -> &[Flit] {
+        &self.payload
+    }
+
+    /// Number of flits.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Always false: messages have at least one flit.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Consumes the message and returns its payload.
+    pub fn into_payload(self) -> Vec<Flit> {
+        self.payload
+    }
+
+    /// Cycle at which the message entered the network (0 before injection).
+    pub fn injected_at(&self) -> u64 {
+        self.injected_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_exposes_fields() {
+        let m = Message::new(7, 2, vec![1, 2, 3]);
+        assert_eq!(m.dest(), 7);
+        assert_eq!(m.channel(), 2);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.payload(), &[1, 2, 3]);
+        assert_eq!(m.into_payload(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "head flit")]
+    fn empty_payload_panics() {
+        let _ = Message::new(0, 0, vec![]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-tile router state: output-port buffers and link occupancy.
+//!
+//! Each router has one buffer pool per output direction (the paper shares a
+//! per-direction pool between channels with a software-configurable split;
+//! we give each channel its own FIFO of `buffer_flits` capacity, the simpler
+//! static split).  A link transmits one flit per cycle; a message occupies
+//! its output link for `len` cycles.  Ring deadlock on the torus is avoided
+//! with the local-bubble rule: messages *entering* a dimension (from the
+//! local port or turning from X to Y) may only be accepted if the buffer
+//! retains at least one maximal message worth of free space afterwards,
+//! while messages continuing along the same dimension only need their own
+//! space.
+
+use crate::message::Message;
+use crate::topology::Port;
+use crate::ChannelId;
+use std::collections::VecDeque;
+
+/// A message queued at an output port, together with the cycle at which its
+/// last flit will have arrived into this buffer (cut-through: it cannot be
+/// forwarded before that).
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedMessage {
+    pub(crate) message: Message,
+    pub(crate) ready_at: u64,
+}
+
+/// FIFO buffer for one (output port, channel) pair.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelBuffer {
+    queue: VecDeque<QueuedMessage>,
+    occupied_flits: usize,
+    capacity_flits: usize,
+}
+
+impl ChannelBuffer {
+    fn new(capacity_flits: usize) -> Self {
+        ChannelBuffer {
+            queue: VecDeque::new(),
+            occupied_flits: 0,
+            capacity_flits,
+        }
+    }
+
+    pub(crate) fn free_flits(&self) -> usize {
+        self.capacity_flits - self.occupied_flits
+    }
+
+    pub(crate) fn occupied_flits(&self) -> usize {
+        self.occupied_flits
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, queued: QueuedMessage) {
+        debug_assert!(queued.message.len() <= self.free_flits());
+        self.occupied_flits += queued.message.len();
+        self.queue.push_back(queued);
+    }
+
+    pub(crate) fn front(&self) -> Option<&QueuedMessage> {
+        self.queue.front()
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedMessage> {
+        let queued = self.queue.pop_front()?;
+        self.occupied_flits -= queued.message.len();
+        Some(queued)
+    }
+}
+
+/// Router state for one tile.
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    /// `buffers[port][channel]`.
+    buffers: Vec<Vec<ChannelBuffer>>,
+    /// Cycle until which each output link is transmitting.
+    link_busy_until: Vec<u64>,
+    /// Round-robin arbitration pointer per output port.
+    rr_next_channel: Vec<ChannelId>,
+    /// Total messages currently buffered at this router (all ports).
+    buffered_messages: usize,
+    /// Cycles in which at least one output link of this router transmitted.
+    pub(crate) busy_cycles: u64,
+    /// Flits forwarded through each output port.
+    pub(crate) flits_per_port: Vec<u64>,
+}
+
+impl Router {
+    pub(crate) fn new(channels: usize, buffer_flits: usize, ejection_flits: usize) -> Self {
+        let num_ports = Port::ALL.len();
+        let mut buffers = Vec::with_capacity(num_ports);
+        for port in Port::ALL {
+            let capacity = if port == Port::Local {
+                ejection_flits
+            } else {
+                buffer_flits
+            };
+            buffers.push((0..channels).map(|_| ChannelBuffer::new(capacity)).collect());
+        }
+        Router {
+            buffers,
+            link_busy_until: vec![0; num_ports],
+            rr_next_channel: vec![0; num_ports],
+            buffered_messages: 0,
+            busy_cycles: 0,
+            flits_per_port: vec![0; num_ports],
+        }
+    }
+
+    pub(crate) fn buffer(&self, port: Port, channel: ChannelId) -> &ChannelBuffer {
+        &self.buffers[port.index()][channel]
+    }
+
+    pub(crate) fn buffer_mut(&mut self, port: Port, channel: ChannelId) -> &mut ChannelBuffer {
+        &mut self.buffers[port.index()][channel]
+    }
+
+    pub(crate) fn buffered_messages(&self) -> usize {
+        self.buffered_messages
+    }
+
+    pub(crate) fn note_push(&mut self) {
+        self.buffered_messages += 1;
+    }
+
+    pub(crate) fn note_pop(&mut self) {
+        debug_assert!(self.buffered_messages > 0);
+        self.buffered_messages -= 1;
+    }
+
+    pub(crate) fn link_busy_until(&self, port: Port) -> u64 {
+        self.link_busy_until[port.index()]
+    }
+
+    pub(crate) fn set_link_busy_until(&mut self, port: Port, cycle: u64) {
+        self.link_busy_until[port.index()] = cycle;
+    }
+
+    pub(crate) fn rr_channel(&self, port: Port) -> ChannelId {
+        self.rr_next_channel[port.index()]
+    }
+
+    pub(crate) fn advance_rr(&mut self, port: Port, channels: usize) {
+        let slot = &mut self.rr_next_channel[port.index()];
+        *slot = (*slot + 1) % channels;
+    }
+
+    /// Whether the buffer can accept a message of `flits` under the bubble
+    /// rule. `entering_dimension` is true when the message is being injected
+    /// from the local port or turning from the X to the Y dimension; such
+    /// messages must leave `bubble_flits` of slack so the ring can always
+    /// drain.
+    pub(crate) fn can_accept(
+        &self,
+        port: Port,
+        channel: ChannelId,
+        flits: usize,
+        entering_dimension: bool,
+        bubble_flits: usize,
+    ) -> bool {
+        let buffer = self.buffer(port, channel);
+        let needed = if entering_dimension && port != Port::Local {
+            flits + bubble_flits
+        } else {
+            flits
+        };
+        buffer.free_flits() >= needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn message(flits: usize) -> Message {
+        Message::new(0, 0, vec![0; flits])
+    }
+
+    #[test]
+    fn channel_buffer_tracks_occupancy() {
+        let mut buffer = ChannelBuffer::new(8);
+        assert_eq!(buffer.free_flits(), 8);
+        buffer.push(QueuedMessage {
+            message: message(3),
+            ready_at: 0,
+        });
+        assert_eq!(buffer.free_flits(), 5);
+        assert_eq!(buffer.occupied_flits(), 3);
+        assert!(!buffer.is_empty());
+        let popped = buffer.pop().unwrap();
+        assert_eq!(popped.message.len(), 3);
+        assert_eq!(buffer.free_flits(), 8);
+        assert!(buffer.pop().is_none());
+    }
+
+    #[test]
+    fn router_bubble_rule_reserves_slack_for_entering_messages() {
+        let router = Router::new(1, 8, 8);
+        // Continuing message: only its own 6 flits are needed.
+        assert!(router.can_accept(Port::East, 0, 6, false, 3));
+        // Entering message: 6 + 3 bubble does not fit in 8.
+        assert!(!router.can_accept(Port::East, 0, 6, true, 3));
+        // Ejection to the local port is exempt from the bubble rule.
+        assert!(router.can_accept(Port::Local, 0, 6, true, 3));
+    }
+
+    #[test]
+    fn router_round_robin_wraps() {
+        let mut router = Router::new(3, 8, 8);
+        assert_eq!(router.rr_channel(Port::East), 0);
+        router.advance_rr(Port::East, 3);
+        router.advance_rr(Port::East, 3);
+        assert_eq!(router.rr_channel(Port::East), 2);
+        router.advance_rr(Port::East, 3);
+        assert_eq!(router.rr_channel(Port::East), 0);
+        // Other ports are independent.
+        assert_eq!(router.rr_channel(Port::West), 0);
+    }
+
+    #[test]
+    fn router_message_count_tracking() {
+        let mut router = Router::new(1, 8, 8);
+        assert_eq!(router.buffered_messages(), 0);
+        router.note_push();
+        router.note_push();
+        router.note_pop();
+        assert_eq!(router.buffered_messages(), 1);
+    }
+}

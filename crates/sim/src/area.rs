@@ -1,0 +1,171 @@
+//! Area and power-density model.
+//!
+//! Section V-A compares the 16x16 Dalorex chip (4.2 MB per tile, ~305 mm²)
+//! against the aggregated silicon of 16 HMC cubes (~3616 mm²), and argues
+//! that Dalorex's evenly spread power stays below 300 mW/mm² — far under the
+//! ~1.5 W/mm² air-cooling limit.  This module reproduces those numbers from
+//! the same published densities: 29.2 Mb/mm² SRAM macros at 7 nm, slim
+//! Celerity/Snitch-class cores, and the NoC area ratios of Section III-F.
+
+use dalorex_noc::Topology;
+
+/// Area constants for the 7 nm technology point used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaConstants {
+    /// SRAM density in megabits per square millimetre (29.2 Mb/mm² at 7 nm).
+    pub sram_mbit_per_mm2: f64,
+    /// Area of one processing unit (slim single-issue in-order core), mm².
+    pub pu_mm2: f64,
+    /// Area of the TSU and queue-control logic, mm².
+    pub tsu_mm2: f64,
+    /// Area of a mesh router plus its link drivers, mm²; other topologies
+    /// scale this by [`Topology::relative_area`].
+    pub mesh_router_mm2: f64,
+}
+
+impl AreaConstants {
+    /// The paper's 7 nm constants.
+    pub fn paper_7nm() -> Self {
+        AreaConstants {
+            sram_mbit_per_mm2: 29.2,
+            pu_mm2: 0.02,
+            tsu_mm2: 0.01,
+            mesh_router_mm2: 0.01,
+        }
+    }
+}
+
+impl Default for AreaConstants {
+    fn default() -> Self {
+        AreaConstants::paper_7nm()
+    }
+}
+
+/// Area model for a Dalorex chip configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    constants: AreaConstants,
+    num_tiles: usize,
+    scratchpad_bytes_per_tile: usize,
+    topology: Topology,
+}
+
+impl AreaModel {
+    /// Creates an area model.
+    pub fn new(
+        constants: AreaConstants,
+        num_tiles: usize,
+        scratchpad_bytes_per_tile: usize,
+        topology: Topology,
+    ) -> Self {
+        AreaModel {
+            constants,
+            num_tiles,
+            scratchpad_bytes_per_tile,
+            topology,
+        }
+    }
+
+    /// Area of one tile's scratchpad, in mm².
+    pub fn scratchpad_mm2(&self) -> f64 {
+        let mbits = self.scratchpad_bytes_per_tile as f64 * 8.0 / 1.0e6;
+        mbits / self.constants.sram_mbit_per_mm2
+    }
+
+    /// Area of one tile (scratchpad + PU + TSU + router), in mm².
+    pub fn tile_mm2(&self) -> f64 {
+        self.scratchpad_mm2()
+            + self.constants.pu_mm2
+            + self.constants.tsu_mm2
+            + self.constants.mesh_router_mm2 * self.topology.relative_area()
+    }
+
+    /// Physical tile pitch (assuming square tiles), in millimetres.  Used by
+    /// the energy model to convert flit hop counts into wire millimetres.
+    pub fn tile_pitch_mm(&self) -> f64 {
+        self.tile_mm2().sqrt()
+    }
+
+    /// Total chip area, in mm².
+    pub fn chip_mm2(&self) -> f64 {
+        self.tile_mm2() * self.num_tiles as f64
+    }
+
+    /// NoC share of the chip area, in percent (the paper quotes ~0.2% extra
+    /// for a torus over a mesh and ~1.2% extra for ruche on 4 MB tiles).
+    pub fn noc_area_percent(&self) -> f64 {
+        100.0 * (self.constants.mesh_router_mm2 * self.topology.relative_area()) / self.tile_mm2()
+    }
+
+    /// Power density in mW/mm² for a given total power in Watts.
+    pub fn power_density_mw_per_mm2(&self, total_power_w: f64) -> f64 {
+        total_power_w * 1000.0 / self.chip_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_chip() -> AreaModel {
+        // The paper's 16x16 grid with 4.2 MB per tile.
+        AreaModel::new(
+            AreaConstants::paper_7nm(),
+            256,
+            (4.2 * 1024.0 * 1024.0) as usize,
+            Topology::Torus,
+        )
+    }
+
+    #[test]
+    fn paper_chip_area_is_about_305_mm2() {
+        let area = paper_chip().chip_mm2();
+        assert!(
+            (250.0..400.0).contains(&area),
+            "16x16 x 4.2MB chip area {area} mm2 is far from the paper's ~305 mm2"
+        );
+    }
+
+    #[test]
+    fn tile_is_dominated_by_sram() {
+        let model = paper_chip();
+        assert!(model.scratchpad_mm2() / model.tile_mm2() > 0.9);
+    }
+
+    #[test]
+    fn noc_area_share_is_small() {
+        let model = paper_chip();
+        assert!(model.noc_area_percent() < 3.0);
+        // Ruche costs more area than torus, torus more than mesh.
+        let mesh = AreaModel::new(AreaConstants::paper_7nm(), 256, 4 << 20, Topology::Mesh);
+        let ruche = AreaModel::new(
+            AreaConstants::paper_7nm(),
+            256,
+            4 << 20,
+            Topology::TorusRuche { factor: 4 },
+        );
+        assert!(mesh.noc_area_percent() < model.noc_area_percent());
+        assert!(model.noc_area_percent() < ruche.noc_area_percent());
+    }
+
+    #[test]
+    fn power_density_stays_below_air_cooling_limit() {
+        let model = paper_chip();
+        // The paper reports < 300 mW/mm² for all experiments; a 50 W chip of
+        // this size sits well below that and far below the 1.5 W/mm² limit.
+        let density = model.power_density_mw_per_mm2(50.0);
+        assert!(density < 300.0, "density {density} mW/mm2");
+    }
+
+    #[test]
+    fn tile_pitch_is_about_one_millimetre() {
+        let pitch = paper_chip().tile_pitch_mm();
+        assert!((0.8..1.5).contains(&pitch), "pitch {pitch} mm");
+    }
+
+    #[test]
+    fn smaller_scratchpads_shrink_the_chip() {
+        let small = AreaModel::new(AreaConstants::paper_7nm(), 256, 1 << 20, Topology::Torus);
+        assert!(small.chip_mm2() < paper_chip().chip_mm2());
+    }
+}

@@ -1,0 +1,321 @@
+//! Simulation configuration.
+//!
+//! A [`SimConfig`] captures every knob the paper's evaluation turns:
+//! grid size (Section V-B strong scaling), NoC topology (Figure 8),
+//! scheduling policy and data placement (the Figure 5 ablation ladder),
+//! barrier mode (barrierless frontiers vs. per-epoch synchronization), and
+//! the per-tile scratchpad capacity that bounds which datasets fit.
+//! [`SimConfigBuilder`] validates the combination before a simulation is
+//! built.
+
+use crate::error::SimError;
+use crate::placement::VertexPlacement;
+use dalorex_noc::{GridShape, Topology};
+
+/// Tile-grid dimensions for a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridConfig {
+    /// Tiles in the X dimension.
+    pub width: usize,
+    /// Tiles in the Y dimension.
+    pub height: usize,
+}
+
+impl GridConfig {
+    /// Creates a `width x height` grid configuration.
+    pub fn new(width: usize, height: usize) -> Self {
+        GridConfig { width, height }
+    }
+
+    /// Creates a square grid of `side x side` tiles.
+    pub fn square(side: usize) -> Self {
+        GridConfig::new(side, side)
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Converts to the NoC crate's grid shape.
+    pub fn shape(&self) -> GridShape {
+        GridShape::new(self.width, self.height)
+    }
+}
+
+/// Task-scheduling policy implemented by the TSU (Section III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingPolicy {
+    /// Plain round-robin over eligible tasks — the `Basic-TSU` ablation
+    /// configuration.
+    RoundRobin,
+    /// The paper's occupancy-based priority: a task is high priority when
+    /// its input queue is nearly full, medium priority when its output queue
+    /// is nearly empty, low otherwise; ties go to the larger queue.  This is
+    /// the `Traffic-Aware` configuration and the Dalorex default.
+    OccupancyPriority,
+}
+
+/// Synchronization mode between graph epochs (Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrierMode {
+    /// Local frontiers flow continuously; no global barrier. The Dalorex
+    /// default for BFS, SSSP and WCC.
+    Barrierless,
+    /// A global barrier separates epochs: new frontier vertices are only
+    /// accumulated into the bitmap, and the host triggers the next epoch
+    /// when the chip goes idle.  PageRank always runs this way.
+    EpochBarrier,
+}
+
+/// Complete configuration of a Dalorex simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Grid dimensions.
+    pub grid: GridConfig,
+    /// NoC topology.
+    pub topology: Topology,
+    /// TSU scheduling policy.
+    pub scheduling: SchedulingPolicy,
+    /// Vertex-array placement.
+    pub vertex_placement: VertexPlacement,
+    /// Epoch synchronization mode.
+    pub barrier_mode: BarrierMode,
+    /// Scratchpad capacity per tile, in bytes.
+    pub scratchpad_bytes: usize,
+    /// Router buffer capacity per output port and channel, in flits.
+    pub noc_buffer_flits: usize,
+    /// Ejection (local delivery) buffer capacity per channel, in flits.
+    pub noc_ejection_flits: usize,
+    /// Hard cycle limit after which the simulation aborts.
+    pub max_cycles: u64,
+    /// Cycles without any progress after which a deadlock is reported.
+    pub watchdog_cycles: u64,
+    /// Fixed overhead charged at every epoch barrier (host broadcast of the
+    /// "start next epoch" trigger), in cycles.
+    pub epoch_broadcast_cycles: u64,
+    /// Extra cycles charged on every task dispatch.  Zero for Dalorex's
+    /// native, non-interrupting task invocations; the `Data-Local` rung of
+    /// the Figure 5 ablation sets it to the 50-cycle interrupt penalty of
+    /// Tesseract-style remote calls (Section II-C).
+    pub invocation_overhead_cycles: u64,
+}
+
+impl SimConfig {
+    /// Starts a builder for the given grid with paper-default settings.
+    pub fn builder(grid: GridConfig) -> SimConfigBuilder {
+        SimConfigBuilder::new(grid)
+    }
+
+    /// The default topology the paper uses for this grid size: a plain torus
+    /// up to 32x32 tiles, and a torus with ruche channels (factor 4) beyond
+    /// that (Section IV-A).
+    pub fn paper_default_topology(grid: GridConfig) -> Topology {
+        if grid.num_tiles() <= 32 * 32 {
+            Topology::Torus
+        } else {
+            Topology::TorusRuche { factor: 4 }
+        }
+    }
+}
+
+/// Builder for [`SimConfig`].
+///
+/// ```
+/// use dalorex_sim::config::{GridConfig, SimConfigBuilder};
+///
+/// # fn main() -> Result<(), dalorex_sim::SimError> {
+/// let config = SimConfigBuilder::new(GridConfig::square(4)).build()?;
+/// assert_eq!(config.grid.num_tiles(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Creates a builder with the paper's default settings for `grid`:
+    /// torus (or ruche-torus for >1024 tiles), occupancy-priority
+    /// scheduling, interleaved vertex placement, barrierless execution, and
+    /// a 4 MiB scratchpad per tile.
+    pub fn new(grid: GridConfig) -> Self {
+        SimConfigBuilder {
+            config: SimConfig {
+                grid,
+                topology: SimConfig::paper_default_topology(grid),
+                scheduling: SchedulingPolicy::OccupancyPriority,
+                vertex_placement: VertexPlacement::Interleaved,
+                barrier_mode: BarrierMode::Barrierless,
+                scratchpad_bytes: 4 * 1024 * 1024,
+                noc_buffer_flits: 16,
+                noc_ejection_flits: 64,
+                max_cycles: 200_000_000,
+                watchdog_cycles: 2_000_000,
+                epoch_broadcast_cycles: (grid.width + grid.height) as u64,
+                invocation_overhead_cycles: 0,
+            },
+        }
+    }
+
+    /// Overrides the NoC topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = topology;
+        self
+    }
+
+    /// Overrides the scheduling policy.
+    pub fn scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.config.scheduling = policy;
+        self
+    }
+
+    /// Overrides the vertex placement.
+    pub fn vertex_placement(mut self, placement: VertexPlacement) -> Self {
+        self.config.vertex_placement = placement;
+        self
+    }
+
+    /// Overrides the barrier mode.
+    pub fn barrier_mode(mut self, mode: BarrierMode) -> Self {
+        self.config.barrier_mode = mode;
+        self
+    }
+
+    /// Overrides the per-tile scratchpad capacity in bytes.
+    pub fn scratchpad_bytes(mut self, bytes: usize) -> Self {
+        self.config.scratchpad_bytes = bytes;
+        self
+    }
+
+    /// Overrides the router buffer size in flits.
+    pub fn noc_buffer_flits(mut self, flits: usize) -> Self {
+        self.config.noc_buffer_flits = flits;
+        self
+    }
+
+    /// Overrides the ejection buffer size in flits.
+    pub fn noc_ejection_flits(mut self, flits: usize) -> Self {
+        self.config.noc_ejection_flits = flits;
+        self
+    }
+
+    /// Overrides the hard cycle limit.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.config.max_cycles = cycles;
+        self
+    }
+
+    /// Overrides the deadlock watchdog window.
+    pub fn watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.config.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Overrides the per-dispatch invocation overhead (used by the
+    /// `Data-Local` ablation rung to model interrupting remote calls).
+    pub fn invocation_overhead_cycles(mut self, cycles: u64) -> Self {
+        self.config.invocation_overhead_cycles = cycles;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any dimension, buffer or limit
+    /// is zero, or the ruche factor is smaller than 2.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        let c = &self.config;
+        let reject = |reason: &str| -> Result<SimConfig, SimError> {
+            Err(SimError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if c.grid.width == 0 || c.grid.height == 0 {
+            return reject("grid dimensions must be non-zero");
+        }
+        if c.scratchpad_bytes == 0 {
+            return reject("scratchpad capacity must be non-zero");
+        }
+        if c.noc_buffer_flits == 0 || c.noc_ejection_flits == 0 {
+            return reject("NoC buffers must hold at least one flit");
+        }
+        if c.max_cycles == 0 || c.watchdog_cycles == 0 {
+            return reject("cycle limits must be non-zero");
+        }
+        if let Topology::TorusRuche { factor } = c.topology {
+            if factor < 2 {
+                return reject("ruche factor must be at least 2");
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let config = SimConfigBuilder::new(GridConfig::square(16)).build().unwrap();
+        assert_eq!(config.topology, Topology::Torus);
+        assert_eq!(config.scheduling, SchedulingPolicy::OccupancyPriority);
+        assert_eq!(config.vertex_placement, VertexPlacement::Interleaved);
+        assert_eq!(config.barrier_mode, BarrierMode::Barrierless);
+        assert_eq!(config.scratchpad_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn large_grids_default_to_ruche_torus() {
+        let config = SimConfigBuilder::new(GridConfig::square(64)).build().unwrap();
+        assert_eq!(config.topology, Topology::TorusRuche { factor: 4 });
+        let small = SimConfigBuilder::new(GridConfig::square(32)).build().unwrap();
+        assert_eq!(small.topology, Topology::Torus);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let config = SimConfigBuilder::new(GridConfig::new(2, 3))
+            .topology(Topology::Mesh)
+            .scheduling(SchedulingPolicy::RoundRobin)
+            .vertex_placement(VertexPlacement::Chunked)
+            .barrier_mode(BarrierMode::EpochBarrier)
+            .scratchpad_bytes(1024)
+            .noc_buffer_flits(8)
+            .noc_ejection_flits(8)
+            .max_cycles(1000)
+            .watchdog_cycles(100)
+            .build()
+            .unwrap();
+        assert_eq!(config.grid.num_tiles(), 6);
+        assert_eq!(config.topology, Topology::Mesh);
+        assert_eq!(config.scheduling, SchedulingPolicy::RoundRobin);
+        assert_eq!(config.vertex_placement, VertexPlacement::Chunked);
+        assert_eq!(config.barrier_mode, BarrierMode::EpochBarrier);
+        assert_eq!(config.max_cycles, 1000);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimConfigBuilder::new(GridConfig::new(0, 4)).build().is_err());
+        assert!(SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(0)
+            .build()
+            .is_err());
+        assert!(SimConfigBuilder::new(GridConfig::square(4))
+            .noc_buffer_flits(0)
+            .build()
+            .is_err());
+        assert!(SimConfigBuilder::new(GridConfig::square(4))
+            .max_cycles(0)
+            .build()
+            .is_err());
+        assert!(SimConfigBuilder::new(GridConfig::square(4))
+            .topology(Topology::TorusRuche { factor: 1 })
+            .build()
+            .is_err());
+    }
+}

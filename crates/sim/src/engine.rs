@@ -1,0 +1,840 @@
+//! The cycle-level Dalorex simulation engine.
+//!
+//! [`Simulation`] ties everything together: it distributes the dataset
+//! across tiles according to the configured placement, instantiates the
+//! kernel's queues and arrays on every tile, and then advances tiles and
+//! the network in lock-step, one cycle at a time, until the chip is idle
+//! (the paper's hierarchical idle signal) and the kernel declares the
+//! computation finished.
+//!
+//! Per cycle, each active tile's TSU:
+//!
+//! 1. drains at most one arriving message from the network into the
+//!    destination task's input queue (the head decoder converts the head
+//!    flit's global index into a local offset),
+//! 2. injects at most one message from a channel queue into the network
+//!    (the head encoder derives the destination tile from the global index),
+//! 3. dispatches a task to the PU if the PU is free and a task is eligible
+//!    under the scheduling policy.
+//!
+//! Task bodies execute functionally at dispatch and charge their cycle cost
+//! to the PU, which stays busy for that many cycles (`DESIGN.md` §2).
+
+use crate::config::{BarrierMode, SimConfig};
+use crate::context::{InvocationCost, SimBootstrapContext, SimEpochContext, SimTaskContext};
+use crate::energy::{EnergyBreakdown, EnergyConstants, EnergyModel};
+use crate::error::SimError;
+use crate::kernel::{ChannelDecl, EpochDecision, Kernel, TaskDecl, TaskParams};
+use crate::output::KernelOutput;
+use crate::placement::{ArraySpace, Placement};
+use crate::stats::SimStats;
+use crate::tile::{distribute_graph, TileCsr, TileState};
+use crate::tsu::Scheduler;
+use crate::area::{AreaConstants, AreaModel};
+use dalorex_graph::CsrGraph;
+use dalorex_noc::{Message, Network, NocConfig};
+
+/// Result of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// Energy breakdown computed by the energy model.
+    pub energy: EnergyBreakdown,
+    /// Gathered kernel output arrays.
+    pub output: KernelOutput,
+    /// Wall-clock seconds at the modelled 1 GHz clock.
+    pub seconds: f64,
+    /// Average power in Watts.
+    pub average_power_w: f64,
+    /// Average memory bandwidth used, bytes per second.
+    pub memory_bandwidth_bytes_per_s: f64,
+    /// Chip area in square millimetres for the simulated configuration.
+    pub chip_area_mm2: f64,
+    /// Average power density in milliwatts per square millimetre.
+    pub power_density_mw_per_mm2: f64,
+}
+
+impl SimOutcome {
+    /// Total energy in Joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// A configured Dalorex simulation, ready to run kernels over one dataset.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+    placement: Placement,
+    csr: Vec<TileCsr>,
+    energy_model: EnergyModel,
+    area_model: AreaModel,
+}
+
+impl Simulation {
+    /// Distributes `graph` over the configured grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DatasetTooLarge`] if the largest per-tile chunk
+    /// (dataset plus a code/queue reserve) exceeds the configured scratchpad.
+    pub fn new(config: SimConfig, graph: &CsrGraph) -> Result<Self, SimError> {
+        let num_tiles = config.grid.num_tiles();
+        let placement = Placement::new(
+            num_tiles,
+            graph.num_vertices(),
+            graph.num_edges(),
+            config.vertex_placement,
+        );
+        let csr = distribute_graph(graph, &placement);
+
+        // The scratchpad must hold the dataset chunk, the program binary and
+        // the queues; we reserve 64 KiB for code plus queue storage, in the
+        // spirit of the paper's "instruction port can exist only for a
+        // fraction of the local memory".
+        const CODE_AND_QUEUE_RESERVE: usize = 64 * 1024;
+        let max_chunk = csr.iter().map(TileCsr::footprint_bytes).max().unwrap_or(0);
+        // Per-vertex kernel state: assume up to 4 words per vertex.
+        let kernel_state = 16 * placement.chunk_capacity(ArraySpace::Vertex);
+        let required = max_chunk + kernel_state + CODE_AND_QUEUE_RESERVE;
+        if required > config.scratchpad_bytes {
+            return Err(SimError::DatasetTooLarge {
+                required_bytes: required,
+                scratchpad_bytes: config.scratchpad_bytes,
+            });
+        }
+
+        let energy_model = EnergyModel::new(
+            EnergyConstants::paper_7nm(),
+            num_tiles,
+            config.scratchpad_bytes,
+        );
+        let area_model = AreaModel::new(
+            AreaConstants::paper_7nm(),
+            num_tiles,
+            config.scratchpad_bytes,
+            config.topology,
+        );
+        Ok(Simulation {
+            config,
+            placement,
+            csr,
+            energy_model,
+            area_model,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The data placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The energy model for this configuration.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// The area model for this configuration.
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area_model
+    }
+
+    /// Runs `kernel` to completion and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent kernel
+    /// declarations, [`SimError::CycleLimitExceeded`] or
+    /// [`SimError::Deadlock`] if the run does not terminate, and
+    /// [`SimError::UnknownKernelResource`] if the kernel's declared output
+    /// arrays do not exist.
+    pub fn run(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
+        let tasks = kernel.tasks();
+        let channels = kernel.channels();
+        let arrays = kernel.arrays();
+        validate_kernel(&tasks, &channels, self.config.noc_ejection_flits)?;
+
+        let num_tiles = self.placement.num_tiles();
+        let mut tiles: Vec<TileState> = (0..num_tiles)
+            .map(|t| {
+                TileState::new(
+                    t,
+                    &self.placement,
+                    &tasks,
+                    &channels,
+                    &arrays,
+                    kernel.num_tile_vars(),
+                )
+            })
+            .collect();
+
+        // Bootstrap every tile (initial state and the root invocation).
+        for tile in tiles.iter_mut() {
+            let mut ctx = SimBootstrapContext {
+                csr: &self.csr[tile.tile],
+                placement: &self.placement,
+                tile,
+            };
+            kernel.bootstrap(&mut ctx);
+        }
+
+        let noc_config = NocConfig::new(self.config.grid.shape(), self.config.topology)
+            .with_channels(channels.len().max(1))
+            .with_buffer_flits(self.config.noc_buffer_flits)
+            .with_ejection_buffer_flits(self.config.noc_ejection_flits);
+        let mut network = Network::new(noc_config);
+
+        let mut schedulers: Vec<Scheduler> = (0..num_tiles)
+            .map(|_| Scheduler::new(self.config.scheduling))
+            .collect();
+
+        let barrier_mode = self.config.barrier_mode == BarrierMode::EpochBarrier;
+        let mut active: Vec<bool> = tiles.iter().map(|t| !t.is_idle(0)).collect();
+        let mut active_list: Vec<usize> =
+            (0..num_tiles).filter(|&t| active[t]).collect();
+
+        let mut cycle: u64 = 0;
+        let mut epochs: u64 = 0;
+        let mut last_progress_marker = (0u64, 0u64);
+        let mut last_progress_cycle = 0u64;
+        let mut total_dispatches = 0u64;
+
+        loop {
+            // Global idle: tiles drained, network drained.
+            if active_list.is_empty() && network.is_idle() {
+                let mut epoch_ctx = SimEpochContext {
+                    tiles: &mut tiles,
+                    placement: &self.placement,
+                    barrier_mode,
+                    woken: Vec::new(),
+                };
+                let decision = kernel.on_global_idle(epochs as usize, &mut epoch_ctx);
+                let woken = epoch_ctx.woken;
+                match decision {
+                    EpochDecision::Finish => break,
+                    EpochDecision::Continue => {
+                        epochs += 1;
+                        cycle += self.config.epoch_broadcast_cycles;
+                        for tile in woken {
+                            if !active[tile] {
+                                active[tile] = true;
+                                active_list.push(tile);
+                            }
+                        }
+                        // A kernel that keeps answering Continue without
+                        // scheduling work would spin forever; treat it as a
+                        // deadlock after the watchdog window.
+                        if active_list.is_empty() {
+                            return Err(SimError::Deadlock {
+                                cycle,
+                                network_messages: 0,
+                                queued_invocations: 0,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            // Advance the network one cycle, then wake tiles that received
+            // deliveries.
+            network.cycle();
+            for tile in network.take_delivery_events() {
+                if !active[tile] {
+                    active[tile] = true;
+                    active_list.push(tile);
+                }
+            }
+
+            // Advance every active tile.
+            let snapshot = std::mem::take(&mut active_list);
+            let mut still_active = Vec::with_capacity(snapshot.len());
+            for t in snapshot {
+                active[t] = false;
+                self.tile_cycle(
+                    kernel,
+                    &tasks,
+                    &channels,
+                    &mut tiles[t],
+                    &mut schedulers[t],
+                    &mut network,
+                    barrier_mode,
+                    cycle,
+                    &mut total_dispatches,
+                );
+                let has_pending_delivery = (0..channels.len())
+                    .any(|ch| network.ejection_occupancy(t, ch) > 0);
+                if !tiles[t].is_idle(cycle + 1) || has_pending_delivery {
+                    active[t] = true;
+                    still_active.push(t);
+                }
+            }
+            active_list = still_active;
+
+            cycle += 1;
+            if cycle >= self.config.max_cycles {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                });
+            }
+
+            // Deadlock watchdog: progress is measured by dispatches plus
+            // delivered messages.
+            let marker = (total_dispatches, network.stats().delivered_messages);
+            if marker != last_progress_marker {
+                last_progress_marker = marker;
+                last_progress_cycle = cycle;
+            } else if cycle - last_progress_cycle > self.config.watchdog_cycles {
+                let queued: u64 = tiles
+                    .iter()
+                    .map(|t| t.iqs.iter().map(|q| q.len() as u64).sum::<u64>())
+                    .sum();
+                return Err(SimError::Deadlock {
+                    cycle,
+                    network_messages: network.in_flight() + network.awaiting_ejection(),
+                    queued_invocations: queued,
+                });
+            }
+        }
+
+        // Gather statistics and output.
+        let mut stats = SimStats {
+            cycles: cycle,
+            epochs: epochs.max(1),
+            grid_width: self.config.grid.width,
+            grid_height: self.config.grid.height,
+            noc: network.stats().clone(),
+            ..SimStats::default()
+        };
+        for tile in &tiles {
+            stats.absorb_tile(&tile.counters);
+        }
+        stats.router_busy_fraction = network.router_utilization().values().to_vec();
+        stats.activity.cycles = cycle;
+        stats.activity.noc_flit_hops = network.stats().flit_hops;
+        stats.activity.noc_flit_mm =
+            network.stats().flit_tile_spans * self.area_model.tile_pitch_mm();
+
+        let output = self.gather_output(kernel, &arrays, &tiles)?;
+        let energy = self.energy_model.breakdown(&stats.activity);
+        let seconds = self.energy_model.seconds(cycle);
+        let average_power_w = self.energy_model.average_power_watts(&stats.activity);
+        let memory_bandwidth = self
+            .energy_model
+            .memory_bandwidth_bytes_per_s(&stats.activity);
+        let chip_area = self.area_model.chip_mm2();
+        Ok(SimOutcome {
+            cycles: cycle,
+            energy,
+            seconds,
+            average_power_w,
+            memory_bandwidth_bytes_per_s: memory_bandwidth,
+            chip_area_mm2: chip_area,
+            power_density_mw_per_mm2: self.area_model.power_density_mw_per_mm2(average_power_w),
+            stats,
+            output,
+        })
+    }
+
+    /// One TSU + PU cycle on one tile.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_cycle(
+        &self,
+        kernel: &dyn Kernel,
+        tasks: &[TaskDecl],
+        channels: &[ChannelDecl],
+        tile: &mut TileState,
+        scheduler: &mut Scheduler,
+        network: &mut Network,
+        barrier_mode: bool,
+        cycle: u64,
+        total_dispatches: &mut u64,
+    ) {
+        let tile_id = tile.tile;
+
+        // 1. Drain one arriving message into its task's IQ (head decode:
+        //    global index -> local offset).
+        for channel in 0..channels.len() {
+            let Some(message) = network.peek_delivered_on(tile_id, channel) else {
+                continue;
+            };
+            let dest_task = channels[channel].dest_task;
+            if !tile.iqs[dest_task].can_push(message.len()) {
+                continue; // end-point back-pressure: leave it in the ejection buffer
+            }
+            let message = network
+                .pop_delivered_on(tile_id, channel)
+                .expect("peeked message is present");
+            let mut words = message.into_payload();
+            let space = channels[channel].space;
+            words[0] = self.placement.to_local(space, words[0] as usize) as u32;
+            let pushed = tile.iqs[dest_task].try_push(&words);
+            debug_assert!(pushed);
+            // The TSU writes the words into the IQ (scratchpad writes).
+            tile.counters.sram_writes += words.len() as u64;
+            break;
+        }
+
+        // 2. Inject one message from a channel queue into the network (head
+        //    encode: global index -> destination tile).
+        for (channel, decl) in channels.iter().enumerate() {
+            let flits = decl.flits_per_message;
+            if tile.cqs[channel].len() < flits {
+                continue;
+            }
+            let head = tile.cqs[channel].peek().expect("non-empty CQ");
+            let dest = self.placement.owner(decl.space, head as usize);
+            let words = tile.cqs[channel]
+                .pop_invocation(flits)
+                .expect("checked length");
+            match network.try_inject(tile_id, Message::new(dest, channel, words)) {
+                Ok(()) => {
+                    // Reading the words out of the CQ costs scratchpad reads
+                    // once the router accepts the message. One injection per
+                    // cycle: the router has a single local input port.
+                    tile.counters.sram_reads += flits as u64;
+                    break;
+                }
+                Err(rejected) => {
+                    // The router applied back-pressure: restore the message
+                    // at the head of this CQ and give the *other* channels a
+                    // chance this cycle — a blocked channel must never block
+                    // the rest (that separation is what makes the paper's
+                    // task pipeline deadlock-free).
+                    tile.cqs[channel].push_front_invocation(&rejected.message.into_payload());
+                }
+            }
+        }
+
+        // 3. Dispatch a task to the PU if it is free.
+        if tile.pu_busy_until > cycle {
+            return;
+        }
+        let Some(task) = scheduler.pick(tile, tasks) else {
+            return;
+        };
+        let params = match tasks[task].params {
+            TaskParams::AutoPop(n) => {
+                let popped = tile.iqs[task]
+                    .pop_invocation(n)
+                    .expect("eligibility guarantees parameters");
+                // TSU pre-loads the parameters: scratchpad reads.
+                tile.counters.sram_reads += n as u64;
+                popped
+            }
+            TaskParams::SelfManaged => Vec::new(),
+        };
+        let mut ctx = SimTaskContext {
+            csr: &self.csr[tile_id],
+            placement: &self.placement,
+            channels,
+            current_task: task,
+            barrier_mode,
+            cost: InvocationCost { cycles: 1 }, // dispatch overhead
+            tile,
+        };
+        kernel.execute(task, &params, &mut ctx);
+        let cost = (ctx.cost.cycles + self.config.invocation_overhead_cycles).max(1);
+        tile.counters.task_invocations[task] += 1;
+        tile.counters.pu_busy_cycles += cost;
+        tile.pu_busy_until = cycle + cost;
+        *total_dispatches += 1;
+    }
+
+    fn gather_output(
+        &self,
+        kernel: &dyn Kernel,
+        arrays: &[crate::kernel::LocalArrayDecl],
+        tiles: &[TileState],
+    ) -> Result<KernelOutput, SimError> {
+        let mut output = KernelOutput::new();
+        for name in kernel.output_arrays() {
+            let Some(array_id) = arrays.iter().position(|a| a.name == name) else {
+                return Err(SimError::UnknownKernelResource {
+                    resource: format!("output array {name:?}"),
+                });
+            };
+            let mut global = vec![0u32; self.placement.num_vertices()];
+            for (v, slot) in global.iter_mut().enumerate() {
+                let tile = self.placement.owner(ArraySpace::Vertex, v);
+                let local = self.placement.to_local(ArraySpace::Vertex, v);
+                *slot = tiles[tile].arrays[array_id][local];
+            }
+            output.insert(name, global);
+        }
+        Ok(output)
+    }
+}
+
+fn validate_kernel(
+    tasks: &[TaskDecl],
+    channels: &[ChannelDecl],
+    ejection_flits: usize,
+) -> Result<(), SimError> {
+    let reject = |reason: String| -> Result<(), SimError> {
+        Err(SimError::InvalidConfig { reason })
+    };
+    if tasks.is_empty() {
+        return reject("a kernel must declare at least one task".to_string());
+    }
+    for (i, task) in tasks.iter().enumerate() {
+        if task.iq_capacity == crate::kernel::QueueCapacity::Words(0) {
+            return reject(format!("task {i} ({}) declares a zero-sized IQ", task.name));
+        }
+        if let TaskParams::AutoPop(0) = task.params {
+            return reject(format!(
+                "task {i} ({}) auto-pops zero parameters",
+                task.name
+            ));
+        }
+        for &(channel, words) in &task.cq_space_required {
+            if channel >= channels.len() {
+                return reject(format!(
+                    "task {i} ({}) requires space on undeclared channel {channel}",
+                    task.name
+                ));
+            }
+            if words > channels[channel].cq_capacity_words {
+                return reject(format!(
+                    "task {i} ({}) requires more CQ space than channel {channel} has",
+                    task.name
+                ));
+            }
+        }
+    }
+    for (i, channel) in channels.iter().enumerate() {
+        if channel.dest_task >= tasks.len() {
+            return reject(format!(
+                "channel {i} ({}) targets undeclared task {}",
+                channel.name, channel.dest_task
+            ));
+        }
+        if channel.flits_per_message == 0 {
+            return reject(format!("channel {i} ({}) has zero-flit messages", channel.name));
+        }
+        if channel.flits_per_message > ejection_flits {
+            return reject(format!(
+                "channel {i} ({}) messages do not fit the ejection buffer",
+                channel.name
+            ));
+        }
+        if channel.cq_capacity_words < channel.flits_per_message {
+            return reject(format!(
+                "channel {i} ({}) CQ cannot hold one message",
+                channel.name
+            ));
+        }
+        if let crate::kernel::QueueCapacity::Words(dest_iq) = tasks[channel.dest_task].iq_capacity {
+            if dest_iq < channel.flits_per_message {
+                return reject(format!(
+                    "channel {i} ({}) messages do not fit task {}'s IQ",
+                    channel.name, channel.dest_task
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GridConfig, SchedulingPolicy, SimConfigBuilder};
+    use crate::kernel::{ArrayInit, LocalArrayDecl, LocalArrayLen};
+    use dalorex_graph::generators::grid2d;
+
+    fn tiny_graph() -> CsrGraph {
+        grid2d::GridConfig::new(4, 4).build().unwrap()
+    }
+
+    fn tiny_config() -> SimConfig {
+        SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(256 * 1024)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_datasets_that_do_not_fit() {
+        let graph = tiny_graph();
+        let config = SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(1024)
+            .build()
+            .unwrap();
+        let err = Simulation::new(config, &graph).unwrap_err();
+        assert!(matches!(err, SimError::DatasetTooLarge { .. }));
+    }
+
+    #[test]
+    fn accepts_fitting_datasets_and_exposes_models() {
+        let graph = tiny_graph();
+        let sim = Simulation::new(tiny_config(), &graph).unwrap();
+        assert_eq!(sim.placement().num_tiles(), 4);
+        assert!(sim.area_model().chip_mm2() > 0.0);
+        assert!(sim.energy_model().peak_memory_bandwidth_bytes_per_s() > 0.0);
+        assert_eq!(sim.config().grid.num_tiles(), 4);
+    }
+
+    // A minimal one-task kernel used to exercise the engine end to end: the
+    // bootstrap pushes one invocation per locally owned vertex carrying the
+    // vertex's global id; the task writes `global_id + 1` into its output
+    // array and forwards a message to vertex `global_id + 1`'s owner (if
+    // any), which stores the received value as well.
+    struct RelayKernel;
+
+    const OUT: usize = 0;
+
+    impl Kernel for RelayKernel {
+        fn name(&self) -> &str {
+            "relay"
+        }
+
+        fn tasks(&self) -> Vec<TaskDecl> {
+            vec![TaskDecl::new("relay", 64, TaskParams::AutoPop(2)).requires_cq_space(0, 2)]
+        }
+
+        fn channels(&self) -> Vec<ChannelDecl> {
+            vec![ChannelDecl::new("next", 0, ArraySpace::Vertex, 2, 16)]
+        }
+
+        fn arrays(&self) -> Vec<LocalArrayDecl> {
+            vec![LocalArrayDecl::new(
+                "out",
+                LocalArrayLen::PerVertex,
+                ArrayInit::Zero,
+            )]
+        }
+
+        fn output_arrays(&self) -> Vec<&'static str> {
+            vec!["out"]
+        }
+
+        fn bootstrap(&self, ctx: &mut dyn crate::kernel::BootstrapContext) {
+            // Only the owner of vertex 0 starts the relay.
+            if let Some(local) = ctx.local_vertex(0) {
+                assert!(ctx.push_invocation(0, &[local as u32, 0]));
+            }
+        }
+
+        fn execute(
+            &self,
+            task: crate::kernel::TaskId,
+            params: &[u32],
+            ctx: &mut dyn crate::kernel::TaskContext,
+        ) {
+            assert_eq!(task, 0);
+            let local = params[0] as usize;
+            let hops = params[1];
+            let global = ctx.global_vertex(local);
+            ctx.write(OUT, local, hops + 1);
+            let next = global + 1;
+            if (next as usize) < 16 {
+                assert!(ctx.try_send(0, &[next, hops + 1]));
+            }
+        }
+
+        fn on_global_idle(
+            &self,
+            _epoch: usize,
+            _ctx: &mut dyn crate::kernel::EpochContext,
+        ) -> EpochDecision {
+            EpochDecision::Finish
+        }
+    }
+
+    #[test]
+    fn relay_kernel_visits_every_vertex_in_order() {
+        let graph = tiny_graph();
+        let sim = Simulation::new(tiny_config(), &graph).unwrap();
+        let outcome = sim.run(&RelayKernel).unwrap();
+        let out = outcome.output.as_u32_array("out");
+        let expected: Vec<u32> = (1..=16).collect();
+        assert_eq!(out, expected.as_slice());
+        assert!(outcome.cycles > 0);
+        assert_eq!(outcome.stats.total_invocations(), 16);
+        // 15 forwarded messages (the last vertex sends nothing).
+        assert_eq!(outcome.stats.messages_sent, 15);
+        assert!(outcome.total_energy_j() > 0.0);
+        assert!(outcome.average_power_w > 0.0);
+        assert!(outcome.memory_bandwidth_bytes_per_s > 0.0);
+        assert!(outcome.power_density_mw_per_mm2 > 0.0);
+        assert_eq!(outcome.seconds, outcome.cycles as f64 / 1.0e9);
+    }
+
+    #[test]
+    fn relay_kernel_works_on_every_topology_and_placement() {
+        use crate::placement::VertexPlacement;
+        use dalorex_noc::Topology;
+        let graph = tiny_graph();
+        for topology in [
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::TorusRuche { factor: 2 },
+        ] {
+            for placement in [VertexPlacement::Chunked, VertexPlacement::Interleaved] {
+                let config = SimConfigBuilder::new(GridConfig::square(2))
+                    .scratchpad_bytes(256 * 1024)
+                    .topology(topology)
+                    .vertex_placement(placement)
+                    .build()
+                    .unwrap();
+                let sim = Simulation::new(config, &graph).unwrap();
+                let outcome = sim.run(&RelayKernel).unwrap();
+                let expected: Vec<u32> = (1..=16).collect();
+                assert_eq!(outcome.output.as_u32_array("out"), expected.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_scheduling_also_completes() {
+        let graph = tiny_graph();
+        let config = SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(256 * 1024)
+            .scheduling(SchedulingPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let outcome = sim.run(&RelayKernel).unwrap();
+        assert_eq!(outcome.stats.total_invocations(), 16);
+    }
+
+    struct BadOutputKernel;
+
+    impl Kernel for BadOutputKernel {
+        fn name(&self) -> &str {
+            "bad"
+        }
+        fn tasks(&self) -> Vec<TaskDecl> {
+            vec![TaskDecl::new("t", 8, TaskParams::AutoPop(1))]
+        }
+        fn channels(&self) -> Vec<ChannelDecl> {
+            vec![]
+        }
+        fn arrays(&self) -> Vec<LocalArrayDecl> {
+            vec![]
+        }
+        fn output_arrays(&self) -> Vec<&'static str> {
+            vec!["missing"]
+        }
+        fn bootstrap(&self, _ctx: &mut dyn crate::kernel::BootstrapContext) {}
+        fn execute(
+            &self,
+            _task: crate::kernel::TaskId,
+            _params: &[u32],
+            _ctx: &mut dyn crate::kernel::TaskContext,
+        ) {
+        }
+        fn on_global_idle(
+            &self,
+            _epoch: usize,
+            _ctx: &mut dyn crate::kernel::EpochContext,
+        ) -> EpochDecision {
+            EpochDecision::Finish
+        }
+    }
+
+    #[test]
+    fn undeclared_output_array_is_reported() {
+        let graph = tiny_graph();
+        let sim = Simulation::new(tiny_config(), &graph).unwrap();
+        let err = sim.run(&BadOutputKernel).unwrap_err();
+        assert!(matches!(err, SimError::UnknownKernelResource { .. }));
+    }
+
+    struct BadChannelKernel;
+
+    impl Kernel for BadChannelKernel {
+        fn name(&self) -> &str {
+            "bad-channel"
+        }
+        fn tasks(&self) -> Vec<TaskDecl> {
+            vec![TaskDecl::new("t", 8, TaskParams::AutoPop(1))]
+        }
+        fn channels(&self) -> Vec<ChannelDecl> {
+            vec![ChannelDecl::new("c", 7, ArraySpace::Vertex, 2, 8)]
+        }
+        fn arrays(&self) -> Vec<LocalArrayDecl> {
+            vec![]
+        }
+        fn output_arrays(&self) -> Vec<&'static str> {
+            vec![]
+        }
+        fn bootstrap(&self, _ctx: &mut dyn crate::kernel::BootstrapContext) {}
+        fn execute(
+            &self,
+            _task: crate::kernel::TaskId,
+            _params: &[u32],
+            _ctx: &mut dyn crate::kernel::TaskContext,
+        ) {
+        }
+        fn on_global_idle(
+            &self,
+            _epoch: usize,
+            _ctx: &mut dyn crate::kernel::EpochContext,
+        ) -> EpochDecision {
+            EpochDecision::Finish
+        }
+    }
+
+    #[test]
+    fn invalid_kernel_declarations_are_rejected() {
+        let graph = tiny_graph();
+        let sim = Simulation::new(tiny_config(), &graph).unwrap();
+        let err = sim.run(&BadChannelKernel).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    // A kernel that keeps reporting Continue without scheduling any work
+    // must be caught rather than spinning forever.
+    struct SpinKernel;
+
+    impl Kernel for SpinKernel {
+        fn name(&self) -> &str {
+            "spin"
+        }
+        fn tasks(&self) -> Vec<TaskDecl> {
+            vec![TaskDecl::new("t", 8, TaskParams::AutoPop(1))]
+        }
+        fn channels(&self) -> Vec<ChannelDecl> {
+            vec![]
+        }
+        fn arrays(&self) -> Vec<LocalArrayDecl> {
+            vec![]
+        }
+        fn output_arrays(&self) -> Vec<&'static str> {
+            vec![]
+        }
+        fn bootstrap(&self, _ctx: &mut dyn crate::kernel::BootstrapContext) {}
+        fn execute(
+            &self,
+            _task: crate::kernel::TaskId,
+            _params: &[u32],
+            _ctx: &mut dyn crate::kernel::TaskContext,
+        ) {
+        }
+        fn on_global_idle(
+            &self,
+            _epoch: usize,
+            _ctx: &mut dyn crate::kernel::EpochContext,
+        ) -> EpochDecision {
+            EpochDecision::Continue
+        }
+    }
+
+    #[test]
+    fn idle_continue_without_work_is_a_deadlock() {
+        let graph = tiny_graph();
+        let sim = Simulation::new(tiny_config(), &graph).unwrap();
+        let err = sim.run(&SpinKernel).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Error type for simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation configuration is invalid (zero-sized grid, zero
+    /// queues, inconsistent kernel declarations, ...).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The dataset does not fit the configured per-tile scratchpad.
+    DatasetTooLarge {
+        /// Bytes required on the most loaded tile.
+        required_bytes: usize,
+        /// Configured scratchpad bytes per tile.
+        scratchpad_bytes: usize,
+    },
+    /// The simulation exceeded the configured cycle limit.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No tile, queue or network buffer made progress for the watchdog
+    /// window even though work remains — a deadlock or livelock in the
+    /// modelled hardware or the kernel's queue sizing.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Messages still buffered in the network.
+        network_messages: u64,
+        /// Task invocations still queued in tile IQs.
+        queued_invocations: u64,
+    },
+    /// A kernel asked for an array, task, channel or variable that it never
+    /// declared.
+    UnknownKernelResource {
+        /// What was requested.
+        resource: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            SimError::DatasetTooLarge {
+                required_bytes,
+                scratchpad_bytes,
+            } => write!(
+                f,
+                "dataset needs {required_bytes} bytes per tile but the scratchpad holds {scratchpad_bytes}"
+            ),
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            SimError::Deadlock {
+                cycle,
+                network_messages,
+                queued_invocations,
+            } => write!(
+                f,
+                "no progress at cycle {cycle} with {network_messages} network messages and {queued_invocations} queued invocations outstanding"
+            ),
+            SimError::UnknownKernelResource { resource } => {
+                write!(f, "kernel referenced an undeclared resource: {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SimError::DatasetTooLarge {
+            required_bytes: 1000,
+            scratchpad_bytes: 500,
+        };
+        assert!(err.to_string().contains("1000"));
+        assert!(err.to_string().contains("500"));
+        let err = SimError::Deadlock {
+            cycle: 42,
+            network_messages: 1,
+            queued_invocations: 2,
+        };
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

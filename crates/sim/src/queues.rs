@@ -1,0 +1,199 @@
+//! Task input queues and channel (output) queues.
+//!
+//! In the paper's tile (Fig. 4), the queues are circular FIFOs carved out of
+//! the scratchpad, with their head/tail pointers managed by the TSU and
+//! exposed to the PU through queue-specific registers.  Each task has an
+//! input queue (IQ) sized in entries at task-declaration time; each network
+//! channel has a channel queue (CQ) whose writes go out to the NoC.
+//!
+//! Capacities here are expressed in 32-bit words (queue entries), matching
+//! the paper's "a queue entry can be either 32 or 64 bits" with the 32-bit
+//! choice used throughout the evaluation.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of 32-bit words holding whole task invocations.
+///
+/// One invocation is `params_per_invocation` consecutive words. The queue
+/// accepts an invocation only if all of its words fit, which is how the TSU
+/// guarantees a task can run to completion once dispatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordQueue {
+    words: VecDeque<u32>,
+    capacity_words: usize,
+    /// High-water mark, for statistics.
+    max_occupancy: usize,
+}
+
+impl WordQueue {
+    /// Creates a queue with the given capacity in 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_words: usize) -> Self {
+        assert!(capacity_words > 0, "queue capacity must be non-zero");
+        WordQueue {
+            words: VecDeque::new(),
+            capacity_words,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Current occupancy in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the queue holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Free space in words.
+    pub fn free(&self) -> usize {
+        self.capacity_words - self.words.len()
+    }
+
+    /// Occupancy as a fraction of capacity, in `[0, 1]`.
+    pub fn occupancy_fraction(&self) -> f64 {
+        self.words.len() as f64 / self.capacity_words as f64
+    }
+
+    /// Highest occupancy observed so far, in words.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Whether an invocation of `words` words would fit right now.
+    pub fn can_push(&self, words: usize) -> bool {
+        words <= self.free()
+    }
+
+    /// Pushes an invocation; returns `false` (leaving the queue unchanged)
+    /// if it does not fit.
+    pub fn try_push(&mut self, invocation: &[u32]) -> bool {
+        if !self.can_push(invocation.len()) {
+            return false;
+        }
+        self.words.extend(invocation.iter().copied());
+        self.max_occupancy = self.max_occupancy.max(self.words.len());
+        true
+    }
+
+    /// Reads the word at the head without consuming it (the paper's `peek`
+    /// used by task T1).
+    pub fn peek(&self) -> Option<u32> {
+        self.words.front().copied()
+    }
+
+    /// Pops a single word from the head.
+    pub fn pop_word(&mut self) -> Option<u32> {
+        self.words.pop_front()
+    }
+
+    /// Pops `count` words from the head as one invocation's parameters.
+    /// Returns `None` (leaving the queue unchanged) if fewer than `count`
+    /// words are queued.
+    pub fn pop_invocation(&mut self, count: usize) -> Option<Vec<u32>> {
+        if self.words.len() < count {
+            return None;
+        }
+        Some(self.words.drain(..count).collect())
+    }
+
+    /// Re-inserts words at the head of the queue, preserving their order.
+    /// Used to undo a speculative pop when the network rejects an injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words do not fit (they always do when undoing a pop
+    /// performed in the same cycle).
+    pub fn push_front_invocation(&mut self, words: &[u32]) {
+        assert!(
+            self.can_push(words.len()),
+            "cannot restore words into a full queue"
+        );
+        for &word in words.iter().rev() {
+            self.words.push_front(word);
+        }
+        self.max_occupancy = self.max_occupancy.max(self.words.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut q = WordQueue::new(8);
+        assert!(q.try_push(&[1, 2, 3]));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek(), Some(1));
+        assert_eq!(q.pop_invocation(3), Some(vec![1, 2, 3]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_overflow_without_partial_push() {
+        let mut q = WordQueue::new(4);
+        assert!(q.try_push(&[1, 2, 3]));
+        assert!(!q.try_push(&[4, 5]));
+        assert_eq!(q.len(), 3);
+        assert!(q.can_push(1));
+        assert!(!q.can_push(2));
+    }
+
+    #[test]
+    fn pop_invocation_requires_full_parameter_set() {
+        let mut q = WordQueue::new(4);
+        q.try_push(&[1]);
+        assert_eq!(q.pop_invocation(2), None);
+        assert_eq!(q.len(), 1);
+        q.try_push(&[2]);
+        assert_eq!(q.pop_invocation(2), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut q = WordQueue::new(10);
+        q.try_push(&[1, 2, 3, 4]);
+        q.pop_word();
+        q.try_push(&[5]);
+        assert_eq!(q.max_occupancy(), 4);
+        assert!((q.occupancy_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(q.free(), 6);
+    }
+
+    #[test]
+    fn push_front_restores_order_after_speculative_pop() {
+        let mut q = WordQueue::new(8);
+        q.try_push(&[1, 2, 3, 4]);
+        let head = q.pop_invocation(2).unwrap();
+        assert_eq!(head, vec![1, 2]);
+        q.push_front_invocation(&head);
+        assert_eq!(q.pop_invocation(4), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = WordQueue::new(2);
+        q.try_push(&[9]);
+        assert_eq!(q.peek(), Some(9));
+        assert_eq!(q.peek(), Some(9));
+        assert_eq!(q.pop_word(), Some(9));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = WordQueue::new(0);
+    }
+}

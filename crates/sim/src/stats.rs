@@ -1,0 +1,193 @@
+//! Simulation statistics: utilization, throughput and activity totals.
+//!
+//! These are the quantities the paper's figures plot: runtime in cycles
+//! (Figures 5, 6, 8), edges and operations per second plus memory bandwidth
+//! (Figure 7), PU-utilization heatmaps (Figure 10), and the activity
+//! counters the energy model converts into Joules (Figures 5, 6, 9).
+
+use crate::energy::ActivityCounters;
+use crate::tile::TileCounters;
+use dalorex_noc::stats::UtilizationGrid;
+use dalorex_noc::NocStats;
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Number of epochs executed (barrier mode) or 1 for barrierless runs.
+    pub epochs: u64,
+    /// Task invocations executed, indexed by task id.
+    pub task_invocations: Vec<u64>,
+    /// Messages sent through the network.
+    pub messages_sent: u64,
+    /// Edges processed, as reported by the kernel.
+    pub edges_processed: u64,
+    /// Aggregate activity counters (input to the energy model).
+    pub activity: ActivityCounters,
+    /// Per-tile PU busy cycles (row-major), for the Figure 10 heatmap.
+    pub per_tile_busy_cycles: Vec<u64>,
+    /// Per-router busy fraction (row-major, in `[0, 1]`), for the Figure 10
+    /// router heatmap.
+    pub router_busy_fraction: Vec<f64>,
+    /// Network statistics.
+    pub noc: NocStats,
+    /// Grid width used for heatmaps.
+    pub grid_width: usize,
+    /// Grid height used for heatmaps.
+    pub grid_height: usize,
+}
+
+impl SimStats {
+    /// Accumulates one tile's counters into the aggregate.
+    pub fn absorb_tile(&mut self, counters: &TileCounters) {
+        self.activity.sram_reads += counters.sram_reads;
+        self.activity.sram_writes += counters.sram_writes;
+        self.activity.pu_ops += counters.pu_ops;
+        self.activity.pu_busy_cycles += counters.pu_busy_cycles;
+        self.messages_sent += counters.messages_sent;
+        self.edges_processed += counters.edges_processed;
+        if self.task_invocations.len() < counters.task_invocations.len() {
+            self.task_invocations
+                .resize(counters.task_invocations.len(), 0);
+        }
+        for (total, &count) in self
+            .task_invocations
+            .iter_mut()
+            .zip(&counters.task_invocations)
+        {
+            *total += count;
+        }
+        self.per_tile_busy_cycles.push(counters.pu_busy_cycles);
+    }
+
+    /// Total task invocations across all tasks.
+    pub fn total_invocations(&self) -> u64 {
+        self.task_invocations.iter().sum()
+    }
+
+    /// Total PU operations plus memory accesses — the "operations" series of
+    /// Figure 7.
+    pub fn total_operations(&self) -> u64 {
+        self.activity.pu_ops + self.activity.sram_reads + self.activity.sram_writes
+    }
+
+    /// Edges processed per second at the given clock frequency.
+    pub fn edges_per_second(&self, clock_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.edges_processed as f64 * clock_hz / self.cycles as f64
+        }
+    }
+
+    /// Operations per second at the given clock frequency.
+    pub fn operations_per_second(&self, clock_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_operations() as f64 * clock_hz / self.cycles as f64
+        }
+    }
+
+    /// Mean PU utilization across tiles, in `[0, 1]`.
+    pub fn mean_pu_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.per_tile_busy_cycles.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.per_tile_busy_cycles.iter().sum();
+        total as f64 / (self.cycles as f64 * self.per_tile_busy_cycles.len() as f64)
+    }
+
+    /// Per-tile PU utilization heatmap (Figure 10, left panels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-tile data does not match the recorded grid shape.
+    pub fn pu_utilization_grid(&self) -> UtilizationGrid {
+        let cycles = self.cycles.max(1) as f64;
+        let values = self
+            .per_tile_busy_cycles
+            .iter()
+            .map(|&busy| (busy as f64 / cycles).min(1.0))
+            .collect();
+        UtilizationGrid::new(self.grid_width, self.grid_height, values)
+    }
+
+    /// Per-router utilization heatmap (Figure 10, right panels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-router data does not match the recorded grid shape.
+    pub fn router_utilization_grid(&self) -> UtilizationGrid {
+        UtilizationGrid::new(
+            self.grid_width,
+            self.grid_height,
+            self.router_busy_fraction.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_counters(reads: u64, busy: u64) -> TileCounters {
+        TileCounters {
+            sram_reads: reads,
+            sram_writes: reads / 2,
+            pu_ops: reads * 2,
+            pu_busy_cycles: busy,
+            task_invocations: vec![3, 1],
+            edges_processed: 10,
+            messages_sent: 4,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_counters() {
+        let mut stats = SimStats {
+            grid_width: 2,
+            grid_height: 1,
+            ..SimStats::default()
+        };
+        stats.absorb_tile(&tile_counters(100, 50));
+        stats.absorb_tile(&tile_counters(200, 150));
+        assert_eq!(stats.activity.sram_reads, 300);
+        assert_eq!(stats.activity.sram_writes, 150);
+        assert_eq!(stats.activity.pu_ops, 600);
+        assert_eq!(stats.task_invocations, vec![6, 2]);
+        assert_eq!(stats.total_invocations(), 8);
+        assert_eq!(stats.edges_processed, 20);
+        assert_eq!(stats.messages_sent, 8);
+        assert_eq!(stats.per_tile_busy_cycles, vec![50, 150]);
+    }
+
+    #[test]
+    fn throughput_figures() {
+        let mut stats = SimStats {
+            cycles: 1_000,
+            grid_width: 2,
+            grid_height: 1,
+            ..SimStats::default()
+        };
+        stats.absorb_tile(&tile_counters(100, 500));
+        stats.absorb_tile(&tile_counters(100, 1000));
+        // 20 edges over 1000 cycles at 1 GHz = 20M edges/s.
+        assert!((stats.edges_per_second(1.0e9) - 2.0e7).abs() < 1.0);
+        assert!(stats.operations_per_second(1.0e9) > 0.0);
+        // Utilization: (500 + 1000) / (2 * 1000) = 0.75.
+        assert!((stats.mean_pu_utilization() - 0.75).abs() < 1e-12);
+        let grid = stats.pu_utilization_grid();
+        assert_eq!(grid.at(0, 0), 0.5);
+        assert_eq!(grid.at(1, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_rates() {
+        let stats = SimStats::default();
+        assert_eq!(stats.edges_per_second(1.0e9), 0.0);
+        assert_eq!(stats.operations_per_second(1.0e9), 0.0);
+        assert_eq!(stats.mean_pu_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-tile state: the distributed dataset chunk, kernel arrays, queues and
+//! activity counters.
+//!
+//! A Dalorex tile (paper Fig. 4) is dominated by its scratchpad, which holds
+//! the tile's chunk of every dataset array, the kernel's state arrays, the
+//! task code and the queues.  [`TileCsr`] is the read-only dataset chunk
+//! produced by distributing a [`CsrGraph`](dalorex_graph::CsrGraph) with a
+//! [`Placement`](crate::placement::Placement); [`TileState`] is the mutable
+//! part (kernel arrays, variables, queues, counters).
+
+use crate::kernel::{ArrayInit, ChannelDecl, LocalArrayDecl, LocalArrayLen, QueueCapacity, TaskDecl};
+use crate::placement::{ArraySpace, Placement};
+use crate::queues::WordQueue;
+use dalorex_graph::CsrGraph;
+
+/// The read-only chunk of the dataset owned by one tile.
+///
+/// Instead of replicating the paper's `ptr` array (whose entry `v+1` may
+/// live on a different tile), each tile stores, per owned vertex, the global
+/// begin and end edge indices of that vertex's adjacency — the same two
+/// words task T1 reads, local under any vertex placement.  `DESIGN.md` §2
+/// records this representation choice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileCsr {
+    /// Global edge index where each owned vertex's out-edges begin.
+    pub row_begin: Vec<u32>,
+    /// Global edge index one past each owned vertex's out-edges.
+    pub row_end: Vec<u32>,
+    /// Destination vertex (global id) of each owned edge.
+    pub edge_idx: Vec<u32>,
+    /// Weight of each owned edge.
+    pub edge_values: Vec<u32>,
+}
+
+impl TileCsr {
+    /// Scratchpad bytes occupied by this chunk (32-bit words).
+    pub fn footprint_bytes(&self) -> usize {
+        4 * (self.row_begin.len()
+            + self.row_end.len()
+            + self.edge_idx.len()
+            + self.edge_values.len())
+    }
+}
+
+/// Distributes a graph across tiles according to a placement.
+///
+/// Tile `t` receives `row_begin`/`row_end` for every vertex it owns (in
+/// local-offset order) and the contiguous edge chunk
+/// `[t * edges_per_tile, (t+1) * edges_per_tile)`.
+pub fn distribute_graph(graph: &CsrGraph, placement: &Placement) -> Vec<TileCsr> {
+    let num_tiles = placement.num_tiles();
+    let mut chunks: Vec<TileCsr> = (0..num_tiles)
+        .map(|tile| {
+            let vertices = placement.local_len(ArraySpace::Vertex, tile);
+            let edges = placement.local_len(ArraySpace::Edge, tile);
+            TileCsr {
+                row_begin: vec![0; vertices],
+                row_end: vec![0; vertices],
+                edge_idx: Vec::with_capacity(edges),
+                edge_values: Vec::with_capacity(edges),
+            }
+        })
+        .collect();
+
+    let ptr = graph.ptr();
+    for v in 0..graph.num_vertices() {
+        let tile = placement.owner(ArraySpace::Vertex, v);
+        let local = placement.to_local(ArraySpace::Vertex, v);
+        chunks[tile].row_begin[local] = ptr[v];
+        chunks[tile].row_end[local] = ptr[v + 1];
+    }
+    for e in 0..graph.num_edges() {
+        let tile = placement.owner(ArraySpace::Edge, e);
+        debug_assert_eq!(placement.to_local(ArraySpace::Edge, e), chunks[tile].edge_idx.len());
+        chunks[tile].edge_idx.push(graph.edge_idx()[e]);
+        chunks[tile].edge_values.push(graph.edge_values()[e]);
+    }
+    chunks
+}
+
+/// Activity counters accumulated by one tile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TileCounters {
+    /// 32-bit scratchpad reads (arrays, variables and queue entries).
+    pub sram_reads: u64,
+    /// 32-bit scratchpad writes.
+    pub sram_writes: u64,
+    /// PU operations (ALU plus queue-register operations).
+    pub pu_ops: u64,
+    /// Cycles during which the PU was executing a task.
+    pub pu_busy_cycles: u64,
+    /// Invocations executed, per task.
+    pub task_invocations: Vec<u64>,
+    /// Edges processed (reported by the kernel via `count_edges`).
+    pub edges_processed: u64,
+    /// Messages sent into the network from this tile.
+    pub messages_sent: u64,
+}
+
+/// The mutable per-tile state of a running simulation.
+#[derive(Debug, Clone)]
+pub struct TileState {
+    /// Tile id.
+    pub tile: usize,
+    /// Kernel arrays, in declaration order.
+    pub arrays: Vec<Vec<u32>>,
+    /// Per-tile scalar variables.
+    pub vars: Vec<u32>,
+    /// One input queue per task.
+    pub iqs: Vec<WordQueue>,
+    /// One channel queue per channel.
+    pub cqs: Vec<WordQueue>,
+    /// Cycle until which the PU is busy with the current task.
+    pub pu_busy_until: u64,
+    /// Activity counters.
+    pub counters: TileCounters,
+}
+
+impl TileState {
+    /// Builds the state for `tile` given the kernel declarations and the
+    /// tile's share of the dataset.
+    pub fn new(
+        tile: usize,
+        placement: &Placement,
+        tasks: &[TaskDecl],
+        channels: &[ChannelDecl],
+        arrays: &[LocalArrayDecl],
+        num_vars: usize,
+    ) -> Self {
+        let local_vertices = placement.local_len(ArraySpace::Vertex, tile);
+        let local_edges = placement.local_len(ArraySpace::Edge, tile);
+        let built_arrays = arrays
+            .iter()
+            .map(|decl| build_array(decl, tile, placement, local_vertices, local_edges))
+            .collect();
+        TileState {
+            tile,
+            arrays: built_arrays,
+            vars: vec![0; num_vars],
+            iqs: tasks
+                .iter()
+                .map(|t| {
+                    let words = match t.iq_capacity {
+                        QueueCapacity::Words(n) => n,
+                        QueueCapacity::PerVertex => local_vertices,
+                        QueueCapacity::VertexBlocks => local_vertices.div_ceil(32),
+                    };
+                    WordQueue::new(words.max(1))
+                })
+                .collect(),
+            cqs: channels
+                .iter()
+                .map(|c| WordQueue::new(c.cq_capacity_words.max(1)))
+                .collect(),
+            pu_busy_until: 0,
+            counters: TileCounters {
+                task_invocations: vec![0; tasks.len()],
+                ..TileCounters::default()
+            },
+        }
+    }
+
+    /// Whether the tile has any queued work (non-empty IQ or CQ) or a busy
+    /// PU at `cycle`.  Used by the engine's active-tile tracking and by the
+    /// hierarchical idle signal for termination.
+    pub fn is_idle(&self, cycle: u64) -> bool {
+        self.pu_busy_until <= cycle
+            && self.iqs.iter().all(WordQueue::is_empty)
+            && self.cqs.iter().all(WordQueue::is_empty)
+    }
+
+    /// Scratchpad bytes used by kernel arrays, variables and queues.
+    pub fn kernel_footprint_bytes(&self) -> usize {
+        let array_words: usize = self.arrays.iter().map(Vec::len).sum();
+        let queue_words: usize = self.iqs.iter().map(WordQueue::capacity).sum::<usize>()
+            + self.cqs.iter().map(WordQueue::capacity).sum::<usize>();
+        4 * (array_words + self.vars.len() + queue_words)
+    }
+}
+
+fn build_array(
+    decl: &LocalArrayDecl,
+    tile: usize,
+    placement: &Placement,
+    local_vertices: usize,
+    local_edges: usize,
+) -> Vec<u32> {
+    let len = match decl.len {
+        LocalArrayLen::PerVertex => local_vertices,
+        LocalArrayLen::PerEdge => local_edges,
+        LocalArrayLen::VertexBitmap => local_vertices.div_ceil(32),
+        LocalArrayLen::Words(n) => n,
+    };
+    match &decl.init {
+        ArrayInit::Zero => vec![0; len],
+        ArrayInit::Const(v) => vec![*v; len],
+        ArrayInit::MaxU32 => vec![u32::MAX; len],
+        ArrayInit::GlobalVertexId => (0..len)
+            .map(|local| placement.to_global(ArraySpace::Vertex, tile, local) as u32)
+            .collect(),
+        ArrayInit::PerVertexFn(f) => (0..len)
+            .map(|local| f(placement.to_global(ArraySpace::Vertex, tile, local) as u32))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::TaskParams;
+    use crate::placement::VertexPlacement;
+    use dalorex_graph::{Edge, EdgeList};
+    use std::sync::Arc;
+
+    fn small_graph() -> CsrGraph {
+        let edges = EdgeList::from_edges(
+            6,
+            [
+                Edge::new(0, 1, 1),
+                Edge::new(0, 2, 2),
+                Edge::new(1, 3, 3),
+                Edge::new(2, 4, 4),
+                Edge::new(3, 5, 5),
+                Edge::new(4, 5, 6),
+                Edge::new(5, 0, 7),
+            ],
+        )
+        .unwrap();
+        CsrGraph::from_edge_list(&edges)
+    }
+
+    #[test]
+    fn distribute_preserves_every_vertex_and_edge() {
+        let graph = small_graph();
+        for placement_kind in [VertexPlacement::Chunked, VertexPlacement::Interleaved] {
+            let placement = Placement::new(3, 6, 7, placement_kind);
+            let chunks = distribute_graph(&graph, &placement);
+            assert_eq!(chunks.len(), 3);
+            // Every vertex's row range is stored on its owner.
+            for v in 0..6 {
+                let tile = placement.owner(ArraySpace::Vertex, v);
+                let local = placement.to_local(ArraySpace::Vertex, v);
+                assert_eq!(chunks[tile].row_begin[local], graph.ptr()[v]);
+                assert_eq!(chunks[tile].row_end[local], graph.ptr()[v + 1]);
+            }
+            // Edge chunks concatenate back to the global arrays.
+            let all_edges: Vec<u32> = chunks.iter().flat_map(|c| c.edge_idx.clone()).collect();
+            assert_eq!(all_edges, graph.edge_idx());
+            let all_values: Vec<u32> =
+                chunks.iter().flat_map(|c| c.edge_values.clone()).collect();
+            assert_eq!(all_values, graph.edge_values());
+        }
+    }
+
+    #[test]
+    fn footprint_counts_words() {
+        let graph = small_graph();
+        let placement = Placement::new(2, 6, 7, VertexPlacement::Chunked);
+        let chunks = distribute_graph(&graph, &placement);
+        let total: usize = chunks.iter().map(TileCsr::footprint_bytes).sum();
+        // 2 words per vertex + 2 words per edge.
+        assert_eq!(total, 4 * (2 * 6 + 2 * 7));
+    }
+
+    fn test_decls() -> (Vec<TaskDecl>, Vec<ChannelDecl>, Vec<LocalArrayDecl>) {
+        (
+            vec![
+                TaskDecl::new("T1", 32, TaskParams::SelfManaged),
+                TaskDecl::new("T2", 64, TaskParams::AutoPop(2)),
+            ],
+            vec![ChannelDecl::new("CQ1", 1, ArraySpace::Vertex, 2, 16)],
+            vec![
+                LocalArrayDecl::new("dist", LocalArrayLen::PerVertex, ArrayInit::MaxU32),
+                LocalArrayDecl::new("frontier", LocalArrayLen::VertexBitmap, ArrayInit::Zero),
+                LocalArrayDecl::new("labels", LocalArrayLen::PerVertex, ArrayInit::GlobalVertexId),
+                LocalArrayDecl::new(
+                    "x",
+                    LocalArrayLen::PerVertex,
+                    ArrayInit::PerVertexFn(Arc::new(|v| v + 100)),
+                ),
+                LocalArrayDecl::new("scratch", LocalArrayLen::Words(4), ArrayInit::Const(9)),
+            ],
+        )
+    }
+
+    #[test]
+    fn tile_state_builds_arrays_with_declared_inits() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Interleaved);
+        let (tasks, channels, arrays) = test_decls();
+        let state = TileState::new(1, &placement, &tasks, &channels, &arrays, 3);
+        assert_eq!(state.arrays.len(), 5);
+        // Tile 1 owns vertices 1, 3, 5, 7, 9 under interleaved placement.
+        assert_eq!(state.arrays[0], vec![u32::MAX; 5]);
+        assert_eq!(state.arrays[1].len(), 1); // bitmap: ceil(5/32)
+        assert_eq!(state.arrays[2], vec![1, 3, 5, 7, 9]);
+        assert_eq!(state.arrays[3], vec![101, 103, 105, 107, 109]);
+        assert_eq!(state.arrays[4], vec![9, 9, 9, 9]);
+        assert_eq!(state.vars, vec![0, 0, 0]);
+        assert_eq!(state.iqs.len(), 2);
+        assert_eq!(state.cqs.len(), 1);
+        assert!(state.is_idle(0));
+        assert!(state.kernel_footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn tile_is_not_idle_with_queued_work_or_busy_pu() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Chunked);
+        let (tasks, channels, arrays) = test_decls();
+        let mut state = TileState::new(0, &placement, &tasks, &channels, &arrays, 0);
+        assert!(state.is_idle(5));
+        state.iqs[0].try_push(&[7]);
+        assert!(!state.is_idle(5));
+        state.iqs[0].pop_word();
+        state.pu_busy_until = 10;
+        assert!(!state.is_idle(5));
+        assert!(state.is_idle(10));
+    }
+}

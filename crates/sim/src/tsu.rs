@@ -1,0 +1,254 @@
+//! Task Scheduling Unit: dispatch eligibility and priority policies.
+//!
+//! Section III-E: the TSU may only invoke a task when its input queue is
+//! non-empty and its output queue has sufficient free entries, so that a
+//! task never blocks mid-execution.  When several tasks are eligible the
+//! TSU arbitrates; the paper's occupancy-based policy gives *high* priority
+//! to a task whose IQ is nearly full (relieving end-point back-pressure),
+//! *medium* priority to a task whose output queue is nearly empty (keeping
+//! downstream tiles fed), and low priority otherwise, breaking ties toward
+//! the larger queue.  A round-robin policy is kept as the `Basic-TSU`
+//! ablation configuration.
+
+use crate::config::SchedulingPolicy;
+use crate::kernel::{TaskDecl, TaskParams};
+use crate::tile::TileState;
+
+/// IQ occupancy fraction at or above which a task becomes high priority.
+pub const HIGH_PRIORITY_IQ_FRACTION: f64 = 0.75;
+/// Output-queue occupancy fraction at or below which a task becomes medium
+/// priority.
+pub const MEDIUM_PRIORITY_OQ_FRACTION: f64 = 0.25;
+
+/// Priority classes of the occupancy-based policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Default priority.
+    Low = 0,
+    /// The task's output queue is nearly empty: run it to keep consumers fed.
+    Medium = 1,
+    /// The task's input queue is nearly full: run it to relieve back-pressure.
+    High = 2,
+}
+
+/// The per-tile task scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: SchedulingPolicy,
+    /// Round-robin pointer used for arbitration fairness.
+    next_task: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        Scheduler {
+            policy,
+            next_task: 0,
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Whether `task` can be dispatched right now on `tile`: its IQ holds at
+    /// least one full invocation and every declared output-space guarantee
+    /// holds.
+    pub fn is_eligible(tile: &TileState, tasks: &[TaskDecl], task: usize) -> bool {
+        let decl = &tasks[task];
+        let iq = &tile.iqs[task];
+        let has_input = match decl.params {
+            TaskParams::AutoPop(n) => iq.len() >= n && n > 0,
+            TaskParams::SelfManaged => !iq.is_empty(),
+        };
+        if !has_input {
+            return false;
+        }
+        decl.cq_space_required
+            .iter()
+            .all(|&(channel, words)| tile.cqs[channel].free() >= words)
+    }
+
+    /// Priority of an eligible task under the occupancy policy.
+    pub fn priority(tile: &TileState, tasks: &[TaskDecl], task: usize) -> Priority {
+        let iq = &tile.iqs[task];
+        if iq.occupancy_fraction() >= HIGH_PRIORITY_IQ_FRACTION {
+            return Priority::High;
+        }
+        let decl = &tasks[task];
+        let output_nearly_empty = decl
+            .cq_space_required
+            .iter()
+            .any(|&(channel, _)| {
+                tile.cqs[channel].occupancy_fraction() <= MEDIUM_PRIORITY_OQ_FRACTION
+            });
+        if output_nearly_empty {
+            Priority::Medium
+        } else {
+            Priority::Low
+        }
+    }
+
+    /// Picks the next task to dispatch on `tile`, or `None` if no task is
+    /// eligible (the TSU then clock-gates the PU).
+    pub fn pick(&mut self, tile: &TileState, tasks: &[TaskDecl]) -> Option<usize> {
+        let num_tasks = tasks.len();
+        if num_tasks == 0 {
+            return None;
+        }
+        match self.policy {
+            SchedulingPolicy::RoundRobin => {
+                for offset in 0..num_tasks {
+                    let task = (self.next_task + offset) % num_tasks;
+                    if Self::is_eligible(tile, tasks, task) {
+                        self.next_task = (task + 1) % num_tasks;
+                        return Some(task);
+                    }
+                }
+                None
+            }
+            SchedulingPolicy::OccupancyPriority => {
+                let mut best: Option<(Priority, usize, usize)> = None;
+                for offset in 0..num_tasks {
+                    let task = (self.next_task + offset) % num_tasks;
+                    if !Self::is_eligible(tile, tasks, task) {
+                        continue;
+                    }
+                    let priority = Self::priority(tile, tasks, task);
+                    let queue_size = tile.iqs[task].capacity();
+                    let candidate = (priority, queue_size, task);
+                    let better = match &best {
+                        None => true,
+                        Some((bp, bq, _)) => {
+                            priority > *bp || (priority == *bp && queue_size > *bq)
+                        }
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                let picked = best.map(|(_, _, task)| task);
+                if let Some(task) = picked {
+                    self.next_task = (task + 1) % num_tasks;
+                }
+                picked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ChannelDecl, LocalArrayDecl};
+    use crate::placement::{ArraySpace, Placement, VertexPlacement};
+
+    fn decls() -> (Vec<TaskDecl>, Vec<ChannelDecl>, Vec<LocalArrayDecl>) {
+        (
+            vec![
+                TaskDecl::new("T1", 32, TaskParams::SelfManaged),
+                TaskDecl::new("T2", 128, TaskParams::AutoPop(3)).requires_cq_space(0, 8),
+                TaskDecl::new("T3", 2048, TaskParams::AutoPop(2)),
+            ],
+            vec![ChannelDecl::new("CQ2", 2, ArraySpace::Vertex, 2, 16)],
+            vec![],
+        )
+    }
+
+    fn tile() -> TileState {
+        let placement = Placement::new(4, 64, 256, VertexPlacement::Interleaved);
+        let (tasks, channels, arrays) = decls();
+        TileState::new(0, &placement, &tasks, &channels, &arrays, 0)
+    }
+
+    #[test]
+    fn no_task_eligible_on_empty_queues() {
+        let tile = tile();
+        let (tasks, _, _) = decls();
+        let mut scheduler = Scheduler::new(SchedulingPolicy::OccupancyPriority);
+        assert!(scheduler.pick(&tile, &tasks).is_none());
+        assert_eq!(scheduler.policy(), SchedulingPolicy::OccupancyPriority);
+    }
+
+    #[test]
+    fn autopop_task_needs_all_parameters() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        tile.iqs[1].try_push(&[1, 2]);
+        assert!(!Scheduler::is_eligible(&tile, &tasks, 1));
+        tile.iqs[1].try_push(&[3]);
+        assert!(Scheduler::is_eligible(&tile, &tasks, 1));
+    }
+
+    #[test]
+    fn cq_space_requirement_blocks_dispatch() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        tile.iqs[1].try_push(&[1, 2, 3]);
+        // Fill the CQ so fewer than 8 words remain.
+        let filler = vec![0u32; 12];
+        assert!(tile.cqs[0].try_push(&filler));
+        assert!(!Scheduler::is_eligible(&tile, &tasks, 1));
+        // Drain it and the task becomes eligible again.
+        tile.cqs[0].pop_invocation(12).unwrap();
+        assert!(Scheduler::is_eligible(&tile, &tasks, 1));
+    }
+
+    #[test]
+    fn round_robin_cycles_through_eligible_tasks() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        tile.iqs[0].try_push(&[1]);
+        tile.iqs[2].try_push(&[1, 2]);
+        let mut scheduler = Scheduler::new(SchedulingPolicy::RoundRobin);
+        let first = scheduler.pick(&tile, &tasks).unwrap();
+        let second = scheduler.pick(&tile, &tasks).unwrap();
+        assert_ne!(first, second);
+        assert!([0, 2].contains(&first) && [0, 2].contains(&second));
+    }
+
+    #[test]
+    fn nearly_full_iq_wins_priority() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        // T1's IQ at 100% (32 of 32 words) -> high priority.
+        let filler = vec![7u32; 32];
+        assert!(tile.iqs[0].try_push(&filler));
+        // T3 has a little input -> low/medium priority.
+        tile.iqs[2].try_push(&[1, 2]);
+        assert_eq!(Scheduler::priority(&tile, &tasks, 0), Priority::High);
+        let mut scheduler = Scheduler::new(SchedulingPolicy::OccupancyPriority);
+        assert_eq!(scheduler.pick(&tile, &tasks), Some(0));
+    }
+
+    #[test]
+    fn empty_output_queue_gives_medium_priority() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        tile.iqs[1].try_push(&[1, 2, 3]);
+        // CQ0 is empty -> medium priority for T2.
+        assert_eq!(Scheduler::priority(&tile, &tasks, 1), Priority::Medium);
+        // T3 has no output requirement and a mostly empty IQ -> low.
+        tile.iqs[2].try_push(&[1, 2]);
+        assert_eq!(Scheduler::priority(&tile, &tasks, 2), Priority::Low);
+        // Medium beats low.
+        let mut scheduler = Scheduler::new(SchedulingPolicy::OccupancyPriority);
+        assert_eq!(scheduler.pick(&tile, &tasks), Some(1));
+    }
+
+    #[test]
+    fn ties_go_to_the_larger_queue() {
+        let mut tile = tile();
+        let (tasks, _, _) = decls();
+        // Both T1 (capacity 32) and T3 (capacity 2048) at low priority.
+        tile.iqs[0].try_push(&[1]);
+        tile.iqs[2].try_push(&[1, 2]);
+        // Fill CQ0 above the medium threshold so T2 stays out of the picture.
+        let filler = vec![0u32; 8];
+        tile.cqs[0].try_push(&filler);
+        let mut scheduler = Scheduler::new(SchedulingPolicy::OccupancyPriority);
+        assert_eq!(scheduler.pick(&tile, &tasks), Some(2));
+    }
+}

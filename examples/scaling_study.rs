@@ -1,0 +1,60 @@
+//! Strong-scaling study (a miniature of the paper's Figure 6): run BFS on a
+//! fixed RMAT dataset while growing the Dalorex grid, and watch runtime
+//! shrink until each tile holds too few vertices to keep its PU busy —
+//! the paper's "parallelization limit" near ~1,000 vertices per tile —
+//! while energy reaches its optimum earlier.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use dalorex::graph::generators::rmat::RmatConfig;
+use dalorex::kernels::BfsKernel;
+use dalorex::sim::config::{GridConfig, SimConfigBuilder};
+use dalorex::sim::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = RmatConfig::new(13, 10).seed(3).build()?;
+    println!(
+        "dataset: RMAT-13 ({} vertices, {} edges)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!(
+        "{:>6}  {:>14}  {:>12}  {:>12}  {:>10}  {:>8}",
+        "tiles", "vertices/tile", "cycles", "speedup", "energy(mJ)", "PU util"
+    );
+
+    let mut baseline_cycles: Option<u64> = None;
+    for side in [1usize, 2, 4, 8, 16] {
+        let tiles = side * side;
+        // Size the scratchpad to the chunk (plus reserve), as a real
+        // deployment would provision it.
+        let per_tile_bytes =
+            ((2 * graph.num_vertices() + 2 * graph.num_edges()) * 4 / tiles + 256 * 1024)
+                .next_power_of_two();
+        let config = SimConfigBuilder::new(GridConfig::square(side))
+            .scratchpad_bytes(per_tile_bytes)
+            .build()?;
+        let sim = Simulation::new(config, &graph)?;
+        let outcome = sim.run(&BfsKernel::new(0))?;
+        let baseline = *baseline_cycles.get_or_insert(outcome.cycles);
+        println!(
+            "{:>6}  {:>14}  {:>12}  {:>11.1}x  {:>10.3}  {:>7.1}%",
+            tiles,
+            graph.num_vertices() / tiles,
+            outcome.cycles,
+            baseline as f64 / outcome.cycles as f64,
+            outcome.total_energy_j() * 1e3,
+            100.0 * outcome.stats.mean_pu_utilization()
+        );
+    }
+    println!();
+    println!(
+        "Speedup grows close to linearly while tiles hold thousands of vertices and\n\
+         flattens as the per-tile chunk approaches the ~1k-vertex parallelization limit\n\
+         the paper reports in Section V-B."
+    );
+    Ok(())
+}

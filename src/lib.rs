@@ -1,0 +1,47 @@
+//! # Dalorex — data-local program execution for memory-bound applications
+//!
+//! This crate is the umbrella entry point of the Dalorex reproduction
+//! workspace. It re-exports the individual subsystem crates so downstream
+//! users can depend on a single crate:
+//!
+//! * [`graph`] — sparse-graph substrate: CSR storage, RMAT and scale-free
+//!   generators, and reference sequential algorithms used for validation.
+//! * [`noc`] — cycle-level network-on-chip models (2D mesh, 2D torus, and
+//!   torus with ruche channels) with wormhole, dimension-ordered routing.
+//! * [`sim`] — the Dalorex tile architecture simulator: scratchpad tiles,
+//!   processing units, the task scheduling unit (TSU), data placement,
+//!   the cycle engine and the energy/area models.
+//! * [`kernels`] — the task-split graph kernels (BFS, SSSP, PageRank, WCC)
+//!   and SPMV expressed in the Dalorex programming model.
+//! * [`baseline`] — the Tesseract-style processing-in-memory baseline and
+//!   the ablation ladder used by the paper's Figure 5.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dalorex::graph::generators::rmat::RmatConfig;
+//! use dalorex::kernels::bfs::BfsKernel;
+//! use dalorex::sim::config::{GridConfig, SimConfigBuilder};
+//! use dalorex::sim::engine::Simulation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small RMAT graph (2^8 vertices, ~8 edges per vertex).
+//! let graph = RmatConfig::new(8, 8).seed(7).build()?;
+//!
+//! // Configure a 4x4 Dalorex grid with the paper's default torus NoC.
+//! let config = SimConfigBuilder::new(GridConfig::new(4, 4)).build()?;
+//!
+//! // Run BFS from vertex 0 and check the result against the reference.
+//! let kernel = BfsKernel::new(0);
+//! let outcome = Simulation::new(config, &graph)?.run(&kernel)?;
+//! let reference = dalorex::graph::reference::bfs(&graph, 0);
+//! assert_eq!(outcome.output.as_u32_array("value"), reference.depths());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dalorex_baseline as baseline;
+pub use dalorex_graph as graph;
+pub use dalorex_kernels as kernels;
+pub use dalorex_noc as noc;
+pub use dalorex_sim as sim;

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction: data-structure round trips, placement bijectivity, NoC
+//! delivery, and simulator-vs-reference equivalence on arbitrary graphs.
+
+use dalorex::graph::{CsrGraph, Edge, EdgeList};
+use dalorex::kernels::{BfsKernel, SpmvKernel, SsspKernel, WccKernel};
+use dalorex::noc::message::Message;
+use dalorex::noc::network::Network;
+use dalorex::noc::topology::GridShape;
+use dalorex::noc::{NocConfig, Topology};
+use dalorex::sim::config::{GridConfig, SimConfigBuilder};
+use dalorex::sim::placement::ArraySpace;
+use dalorex::sim::{Placement, Simulation, VertexPlacement};
+use dalorex::graph::reference;
+use proptest::prelude::*;
+
+/// Strategy: a random directed weighted graph with up to `max_v` vertices.
+fn arb_graph(max_v: usize, max_degree: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_v).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..64), 0..n * max_degree).prop_map(
+            move |triples| {
+                let mut edges = EdgeList::new(n);
+                for (src, dst, w) in triples {
+                    edges.push(Edge::new(src as u32, dst as u32, w));
+                }
+                edges.dedup_and_remove_self_loops();
+                CsrGraph::from_edge_list(&edges)
+            },
+        )
+    })
+}
+
+fn small_sim(graph: &CsrGraph, placement: VertexPlacement) -> Simulation {
+    let config = SimConfigBuilder::new(GridConfig::new(2, 2))
+        .scratchpad_bytes(1 << 20)
+        .vertex_placement(placement)
+        .build()
+        .unwrap();
+    Simulation::new(config, graph).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_round_trips_through_edge_lists(graph in arb_graph(120, 4)) {
+        let rebuilt = CsrGraph::from_edge_list(&graph.to_edge_list());
+        prop_assert_eq!(&rebuilt, &graph);
+        // Transposing twice preserves the edge multiset.
+        let mut a = graph.to_edge_list();
+        let mut b = graph.transpose().transpose().to_edge_list();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placement_is_a_bijection(
+        tiles in 1usize..40,
+        vertices in 1usize..3000,
+        edges in 1usize..9000,
+        interleaved in proptest::bool::ANY,
+    ) {
+        let placement = Placement::new(
+            tiles,
+            vertices,
+            edges,
+            if interleaved { VertexPlacement::Interleaved } else { VertexPlacement::Chunked },
+        );
+        for space in [ArraySpace::Vertex, ArraySpace::Edge] {
+            let total = match space { ArraySpace::Vertex => vertices, ArraySpace::Edge => edges };
+            let mut per_tile = vec![0usize; tiles];
+            for index in 0..total {
+                let owner = placement.owner(space, index);
+                let local = placement.to_local(space, index);
+                prop_assert!(owner < tiles);
+                prop_assert!(local < placement.chunk_capacity(space));
+                prop_assert_eq!(placement.to_global(space, owner, local), index);
+                per_tile[owner] += 1;
+            }
+            prop_assert_eq!(per_tile.iter().sum::<usize>(), total);
+            // Every tile's load is within one chunk of the even share.
+            let max = per_tile.iter().copied().max().unwrap_or(0);
+            prop_assert!(max <= placement.chunk_capacity(space));
+        }
+    }
+
+    #[test]
+    fn noc_delivers_every_message_exactly_once(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..80),
+        torus in proptest::bool::ANY,
+    ) {
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let mut net = Network::new(NocConfig::new(GridShape::new(4, 4), topology));
+        let mut expected = vec![0u32; 16];
+        let mut pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                expected[dst] += 1;
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let mut guard = 0;
+        while !pending.is_empty() {
+            let mut retry = Vec::new();
+            for (src, msg) in pending.drain(..) {
+                if let Err(rejected) = net.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending = retry;
+            net.cycle();
+            guard += 1;
+            prop_assert!(guard < 20_000, "injection never completed");
+        }
+        let mut drain_guard = 0;
+        while net.in_flight() > 0 {
+            net.cycle();
+            drain_guard += 1;
+            prop_assert!(drain_guard < 100_000, "network never drained");
+        }
+        let mut received = vec![0u32; 16];
+        for tile in 0..16 {
+            while let Some(msg) = net.pop_delivered(tile) {
+                prop_assert_eq!(msg.dest(), tile);
+                received[tile] += 1;
+            }
+        }
+        prop_assert_eq!(received, expected);
+        prop_assert!(net.is_idle());
+    }
+
+    #[test]
+    fn simulated_bfs_and_sssp_match_references_on_arbitrary_graphs(
+        graph in arb_graph(150, 3),
+        interleaved in proptest::bool::ANY,
+    ) {
+        let placement = if interleaved { VertexPlacement::Interleaved } else { VertexPlacement::Chunked };
+        let sim = small_sim(&graph, placement);
+        let bfs = sim.run(&BfsKernel::new(0)).unwrap();
+        let expected_bfs = reference::bfs(&graph, 0);
+        prop_assert_eq!(bfs.output.as_u32_array("value"), expected_bfs.depths());
+        let sssp = sim.run(&SsspKernel::new(0)).unwrap();
+        let expected_sssp = reference::sssp(&graph, 0);
+        prop_assert_eq!(sssp.output.as_u32_array("value"), expected_sssp.distances());
+    }
+
+    #[test]
+    fn simulated_wcc_matches_reference_on_arbitrary_symmetric_graphs(graph in arb_graph(120, 3)) {
+        let mut edges = graph.to_edge_list();
+        edges.symmetrize();
+        edges.dedup_and_remove_self_loops();
+        let symmetric = CsrGraph::from_edge_list(&edges);
+        let sim = small_sim(&symmetric, VertexPlacement::Interleaved);
+        let outcome = sim.run(&WccKernel::new()).unwrap();
+        let expected = reference::wcc(&symmetric);
+        prop_assert_eq!(outcome.output.as_u32_array("value"), expected.labels());
+    }
+
+    #[test]
+    fn simulated_spmv_matches_reference_on_arbitrary_graphs(graph in arb_graph(120, 3)) {
+        let kernel = SpmvKernel::with_default_input();
+        let x = kernel.input_vector(graph.num_vertices());
+        let expected: Vec<u32> = reference::spmv(&graph, &x)
+            .values()
+            .iter()
+            .map(|&v| u32::try_from(v).unwrap())
+            .collect();
+        let sim = small_sim(&graph, VertexPlacement::Chunked);
+        let outcome = sim.run(&kernel).unwrap();
+        prop_assert_eq!(outcome.output.as_u32_array("y"), expected);
+    }
+
+    #[test]
+    fn energy_model_is_monotone_in_activity(
+        reads in 0u64..1_000_000,
+        writes in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        use dalorex::sim::energy::{ActivityCounters, EnergyConstants, EnergyModel};
+        let model = EnergyModel::new(EnergyConstants::paper_7nm(), 64, 1 << 20);
+        let base = ActivityCounters { sram_reads: reads, sram_writes: writes, cycles: 1000, ..Default::default() };
+        let more = ActivityCounters { sram_reads: reads + extra, ..base };
+        prop_assert!(model.breakdown(&more).total_j() > model.breakdown(&base).total_j());
+    }
+}
