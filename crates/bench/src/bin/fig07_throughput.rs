@@ -4,12 +4,12 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig07_throughput [-- --csv]
+//! cargo run -p dalorex-bench --release --bin fig07_throughput [-- --csv] [-- --json <path>]
 //! ```
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::Table;
+use dalorex_bench::report::{write_json_if_requested, Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_sim::energy::EnergyConstants;
@@ -30,6 +30,7 @@ fn main() {
         "avg-memory-BW (B/s)",
         "peak-memory-BW (B/s)",
     ]);
+    let mut measurements = Vec::new();
 
     for workload in Workload::full_set() {
         // Start the sweep at 16 tiles as the paper starts at 256; small
@@ -53,6 +54,15 @@ fn main() {
                 format!("{:.3e}", outcome.memory_bandwidth_bytes_per_s),
                 format!("{peak:.3e}"),
             ]);
+            measurements.push(Measurement {
+                experiment: "fig7".to_string(),
+                workload: workload.name().to_string(),
+                dataset: label.as_str(),
+                configuration: format!("{tiles} tiles"),
+                cycles: outcome.cycles,
+                energy_j: outcome.total_energy_j(),
+                value: outcome.stats.edges_per_second(clock),
+            });
         }
     }
 
@@ -60,4 +70,5 @@ fn main() {
         "Figure 7: throughput and memory bandwidth scaling ({} at reproduction scale)",
         label.as_str()
     ));
+    write_json_if_requested(&measurements);
 }

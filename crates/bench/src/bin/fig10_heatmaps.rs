@@ -19,7 +19,7 @@ use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
 use dalorex_sim::Simulation;
 
 fn main() {
-    let side = (datasets::max_grid_side() / 1).clamp(4, 16);
+    let side = datasets::max_grid_side().clamp(4, 16);
     let graph = datasets::build(DatasetLabel::Rmat(22));
     let workload = Workload::Sssp { root: 0 };
     let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);

@@ -1,7 +1,5 @@
 //! Table and CSV reporting used by the figure binaries.
 
-use serde::Serialize;
-
 /// A simple aligned-text table, printed like the rows of a paper figure.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -94,7 +92,7 @@ impl Table {
 }
 
 /// One measured cell of a figure, serializable for downstream plotting.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Which figure or table this belongs to ("fig5-perf", "fig6", ...).
     pub experiment: String,
@@ -112,15 +110,112 @@ pub struct Measurement {
     pub value: f64,
 }
 
-/// Writes measurements as a JSON array to `path` (used with `--json <path>`).
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as JSON (finite values only; NaN/inf become null).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, keeping the output valid JSON numbers.
+        format!("{value:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Measurement {
+    /// Serializes this measurement as a JSON object.
+    ///
+    /// The environment this reproduction builds in has no registry access,
+    /// so the serialization is hand-rolled rather than pulled from serde;
+    /// the output is plain JSON consumable by any plotting pipeline.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"dataset\":\"{}\",",
+                "\"configuration\":\"{}\",\"cycles\":{},\"energy_j\":{},\"value\":{}}}"
+            ),
+            json_escape(&self.experiment),
+            json_escape(&self.workload),
+            json_escape(&self.dataset),
+            json_escape(&self.configuration),
+            self.cycles,
+            json_f64(self.energy_j),
+            json_f64(self.value),
+        )
+    }
+}
+
+/// Renders measurements as a pretty-printed JSON array.
+pub fn to_json_array(measurements: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&m.to_json());
+        if i + 1 < measurements.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Writes measurements as a JSON array to `path` (the destination of the
+/// figure binaries' `--json <path>` flag; see [`json_output_path`]).
 ///
 /// # Errors
 ///
-/// Propagates I/O and serialization errors.
+/// Propagates I/O errors.
 pub fn write_json(path: &str, measurements: &[Measurement]) -> Result<(), Box<dyn std::error::Error>> {
-    let json = serde_json::to_string_pretty(measurements)?;
-    std::fs::write(path, json)?;
+    std::fs::write(path, to_json_array(measurements))?;
     Ok(())
+}
+
+/// Parses the `--json <path>` command-line flag used by the figure
+/// binaries to persist their measurements as JSON next to the printed
+/// table.  Returns `None` when the flag is absent or has no value.
+pub fn json_output_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes `measurements` to the path given by `--json <path>`, if any.
+/// Used by the figure binaries after printing their tables; on a write
+/// failure it reports the error and exits nonzero so that pipelines like
+/// `fig07_throughput -- --json out.json && plot out.json` do not proceed
+/// without the file.
+pub fn write_json_if_requested(measurements: &[Measurement]) {
+    let Some(path) = json_output_path() else {
+        return;
+    };
+    match write_json(&path, measurements) {
+        Ok(()) => eprintln!("wrote {} measurements to {path}", measurements.len()),
+        Err(err) => {
+            eprintln!("failed to write JSON to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Formats a ratio the way the paper quotes factors ("6.2x").
@@ -174,7 +269,29 @@ mod tests {
             energy_j: 0.5,
             value: 221.0,
         };
-        let json = serde_json::to_string(&m).unwrap();
+        let json = m.to_json();
         assert!(json.contains("fig5-perf"));
+        assert!(json.contains("\"cycles\":123"));
+        assert!(json.contains("\"energy_j\":0.5"));
+        let array = to_json_array(&[m.clone(), m]);
+        assert!(array.starts_with('['));
+        assert!(array.ends_with(']'));
+        assert_eq!(array.matches("fig5-perf").count(), 2);
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        let m = Measurement {
+            experiment: "quote\"back\\slash\nnewline".into(),
+            workload: "W".into(),
+            dataset: "D".into(),
+            configuration: "C".into(),
+            cycles: 1,
+            energy_j: f64::NAN,
+            value: 1.0,
+        };
+        let json = m.to_json();
+        assert!(json.contains("quote\\\"back\\\\slash\\nnewline"));
+        assert!(json.contains("\"energy_j\":null"));
     }
 }

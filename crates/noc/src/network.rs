@@ -171,12 +171,10 @@ impl Network {
             None => (Port::Local, false),
             Some(hop) => {
                 let dim = port_dimension(hop.port);
-                let entering = match (arrived_via, dim) {
-                    (Dimension::None, _) => true,
-                    (Dimension::X, Dimension::Y) => true,
-                    (Dimension::Y, Dimension::X) => true,
-                    _ => false,
-                };
+                let entering = matches!(
+                    (arrived_via, dim),
+                    (Dimension::None, _) | (Dimension::X, Dimension::Y) | (Dimension::Y, Dimension::X)
+                );
                 (hop.port, entering)
             }
         }
@@ -573,10 +571,10 @@ mod tests {
         let mut expected = vec![0u32; 16];
         let mut pending = Vec::new();
         for src in 0..16usize {
-            for dst in 0..16usize {
+            for (dst, count) in expected.iter_mut().enumerate() {
                 let payload = vec![(src * 16 + dst) as u32, 7];
                 pending.push((src, Message::new(dst, src % 4, payload)));
-                expected[dst] += 1;
+                *count += 1;
             }
         }
         // Inject with retry-on-backpressure, interleaved with cycles.
@@ -596,10 +594,10 @@ mod tests {
         }
         run_until_idle(&mut net, 10_000);
         let mut received = vec![0u32; 16];
-        for tile in 0..16 {
+        for (tile, count) in received.iter_mut().enumerate() {
             while let Some(msg) = net.pop_delivered(tile) {
                 assert_eq!(msg.dest(), tile);
-                received[tile] += 1;
+                *count += 1;
             }
         }
         assert_eq!(received, expected);

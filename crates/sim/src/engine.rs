@@ -362,11 +362,11 @@ impl Simulation {
 
         // 1. Drain one arriving message into its task's IQ (head decode:
         //    global index -> local offset).
-        for channel in 0..channels.len() {
+        for (channel, decl) in channels.iter().enumerate() {
             let Some(message) = network.peek_delivered_on(tile_id, channel) else {
                 continue;
             };
-            let dest_task = channels[channel].dest_task;
+            let dest_task = decl.dest_task;
             if !tile.iqs[dest_task].can_push(message.len()) {
                 continue; // end-point back-pressure: leave it in the ejection buffer
             }
@@ -374,8 +374,7 @@ impl Simulation {
                 .pop_delivered_on(tile_id, channel)
                 .expect("peeked message is present");
             let mut words = message.into_payload();
-            let space = channels[channel].space;
-            words[0] = self.placement.to_local(space, words[0] as usize) as u32;
+            words[0] = self.placement.to_local(decl.space, words[0] as usize) as u32;
             let pushed = tile.iqs[dest_task].try_push(&words);
             debug_assert!(pushed);
             // The TSU writes the words into the IQ (scratchpad writes).

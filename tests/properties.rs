@@ -120,10 +120,10 @@ proptest! {
             prop_assert!(drain_guard < 100_000, "network never drained");
         }
         let mut received = vec![0u32; 16];
-        for tile in 0..16 {
+        for (tile, count) in received.iter_mut().enumerate() {
             while let Some(msg) = net.pop_delivered(tile) {
                 prop_assert_eq!(msg.dest(), tile);
-                received[tile] += 1;
+                *count += 1;
             }
         }
         prop_assert_eq!(received, expected);

@@ -1,0 +1,443 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The reproduction environment builds fully offline, so this vendored crate
+//! implements the slice of proptest's API that `tests/properties.rs` uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_flat_map`] combinators,
+//! * integer range strategies (`0..n`, `1u32..64`, ...), tuple strategies up
+//!   to arity four, [`collection::vec`] and [`bool::ANY`],
+//! * the [`proptest!`] macro with a `#![proptest_config(...)]` header, and
+//!   the `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! deterministic case index (seeded from the test name), which is enough to
+//! reproduce it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner types: the deterministic RNG handed to strategies.
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic RNG for one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for `case` of the test named `name`.  The stream
+        /// depends only on those two values, so failures are reproducible.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform draw below `bound` (0 when `bound` is 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produces a value, then draws from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Strategy,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    // Real proptest rejects empty ranges loudly; matching
+                    // that keeps out-of-contract values from flowing into
+                    // test bodies and failing far from the root cause.
+                    assert!(
+                        self.start < self.end,
+                        "cannot generate from the empty range {:?}",
+                        self
+                    );
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $ty
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(
+                        start <= end,
+                        "cannot generate from the empty range {:?}",
+                        self
+                    );
+                    if start == end {
+                        return start;
+                    }
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + rng.below(span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Sources of collection lengths (mirrors proptest's `Into<SizeRange>`
+    /// flexibility: plain `1..80` literals default to `i32` and must still
+    /// work as a size).
+    pub trait SizeStrategy {
+        /// Draws one length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    macro_rules! impl_size_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl SizeStrategy for core::ops::Range<$ty> {
+                    fn sample_len(&self, rng: &mut TestRng) -> usize {
+                        assert!(
+                            self.start < self.end,
+                            "cannot draw a collection length from the empty range {:?}",
+                            self
+                        );
+                        let span = (self.end - self.start) as u64;
+                        self.start as usize + rng.below(span) as usize
+                    }
+                }
+
+                impl SizeStrategy for core::ops::RangeInclusive<$ty> {
+                    fn sample_len(&self, rng: &mut TestRng) -> usize {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(
+                            start <= end,
+                            "cannot draw a collection length from the empty range {:?}",
+                            self
+                        );
+                        if start == end {
+                            return start as usize;
+                        }
+                        let span = (end - start) as u64;
+                        start as usize + rng.below(span + 1) as usize
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_size_strategy!(i32, u32, usize);
+
+    impl SizeStrategy for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E, S> {
+        element: E,
+        size: S,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<E, S>(element: E, size: S) -> VecStrategy<E, S>
+    where
+        E: Strategy,
+        S: SizeStrategy,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<E, S> Strategy for VecStrategy<E, S>
+    where
+        E: Strategy,
+        S: SizeStrategy,
+    {
+        type Value = Vec<E::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Configuration accepted by the `#![proptest_config(...)]` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property, failing the whole test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, failing the whole test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Defines property tests.  Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for `cases` deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(
+                            &($strategy),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic; re-run to reproduce)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = super::test_runner::TestRng::deterministic("t", 0);
+        let strategy = (1u32..5, 0usize..3, 10u64..=12);
+        for _ in 0..100 {
+            let (a, b, c) = strategy.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!(b < 3);
+            assert!((10..=12).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = super::test_runner::TestRng::deterministic("t2", 1);
+        let strategy = (1usize..4).prop_flat_map(|n| {
+            super::collection::vec(0u32..10, n..n + 1).prop_map(move |v| (n, v))
+        });
+        for _ in 0..50 {
+            let (n, v) = strategy.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reconstruction() {
+        let mut a = super::test_runner::TestRng::deterministic("same", 3);
+        let mut b = super::test_runner::TestRng::deterministic("same", 3);
+        let strategy = super::collection::vec(0u32..1000, 0usize..20);
+        assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, flag in crate::bool::ANY) {
+            prop_assert!(x < 10);
+            let _ = flag;
+            prop_assert_eq!(x.wrapping_add(1).wrapping_sub(1), x);
+        }
+    }
+}

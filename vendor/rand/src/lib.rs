@@ -1,0 +1,240 @@
+//! Minimal, deterministic stand-in for the `rand` crate.
+//!
+//! The reproduction environment builds fully offline, so this vendored crate
+//! provides exactly the API surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a xoshiro256++ generator seeded through SplitMix64,
+//!   constructed with [`SeedableRng::seed_from_u64`].
+//! * [`Rng::gen`] for `f64`, `u32`, `u64` and `bool`.
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges.
+//!
+//! The bit streams differ from the real `rand` crate (no test in this
+//! workspace depends on the exact stream, only on determinism and on
+//! reasonable statistical quality, which xoshiro256++ provides).
+
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the upper half of a 64-bit word).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sample below `bound` (Lemire's multiply-shift; bias is below
+/// 2^-64 per draw, irrelevant for simulation workloads).
+fn below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample an empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + below(rng, span) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample an empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + below(rng, span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range!(u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type ([`f64`] in `0..1`, full-range
+    /// integers, or a fair [`bool`]).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded through SplitMix64 like the reference
+    /// implementation recommends.  Deterministic for a fixed seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected_and_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..=5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+            let w = rng.gen_range(0usize..7);
+            assert!(w < 7);
+        }
+        assert!(seen_lo && seen_hi, "inclusive range endpoints never drawn");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        for &count in &buckets {
+            assert!((9_000..11_000).contains(&count), "bucket count {count}");
+        }
+    }
+}
