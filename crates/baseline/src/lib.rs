@@ -25,6 +25,15 @@
 //!   explain why accelerators such as Polygraph stop scaling once they
 //!   saturate HBM, while Dalorex's aggregate SRAM bandwidth keeps growing
 //!   with the tile count.
+//!
+//! # Place in the workspace
+//!
+//! `dalorex-baseline` sits between the simulator and the figure harness:
+//! it consumes graphs from `dalorex-graph`, drives `dalorex-sim` (through
+//! the per-rung configurations in [`ablation`]) and is consumed by
+//! `dalorex-bench`, whose `fig05_ablation` binary regenerates the Figure 5
+//! ladder.  The README's "Architecture tour" section diagrams the full
+//! crate graph.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,18 +4,28 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig07_throughput [-- --csv] [-- --json <path>]
+//! cargo run -p dalorex-bench --release --bin fig07_throughput -- \
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>]
 //! ```
+//!
+//! `--max-side` overrides `DALOREX_MAX_SIDE` (set it to 32 or 64 to sweep
+//! the paper's 32x32 and 64x64 grids), and `--drains` sweeps the endpoint
+//! bandwidth (messages drained/injected per tile per cycle; default 1, the
+//! paper's single local router port).  The drain budget and the NoC's
+//! injection-rejection count are emitted into the JSON report.
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{write_json_if_requested, Measurement, Table};
+use dalorex_bench::report::{
+    drains_flag, max_side_flag, write_json_if_requested, Measurement, Table,
+};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_sim::energy::EnergyConstants;
 
 fn main() {
-    let max_side = datasets::max_grid_side();
+    let max_side = max_side_flag().unwrap_or_else(datasets::max_grid_side);
+    let drains_sweep = drains_flag();
     // The paper scales RMAT-26; the catalog reduces it while keeping it the
     // largest dataset of the suite.
     let label = DatasetLabel::Rmat(26);
@@ -25,6 +35,7 @@ fn main() {
     let mut table = Table::new(vec![
         "app",
         "tiles",
+        "drains",
         "edges/s",
         "operations/s",
         "avg-memory-BW (B/s)",
@@ -36,33 +47,39 @@ fn main() {
         // Start the sweep at 16 tiles as the paper starts at 256; small
         // grids make the reduced dataset trivially fast.
         for side in scaling_sides(max_side).into_iter().filter(|&s| s >= 4) {
-            let tiles = side * side;
-            let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
-            let outcome = match run_dalorex(&graph, workload, RunOptions::new(side, scratchpad)) {
-                Ok(outcome) => outcome,
-                Err(err) => {
-                    eprintln!("skipping {} on {tiles} tiles: {err}", workload.name());
-                    continue;
-                }
-            };
-            let peak = tiles as f64 * 8.0 * clock;
-            table.push_row(vec![
-                workload.name().to_string(),
-                tiles.to_string(),
-                format!("{:.3e}", outcome.stats.edges_per_second(clock)),
-                format!("{:.3e}", outcome.stats.operations_per_second(clock)),
-                format!("{:.3e}", outcome.memory_bandwidth_bytes_per_s),
-                format!("{peak:.3e}"),
-            ]);
-            measurements.push(Measurement {
-                experiment: "fig7".to_string(),
-                workload: workload.name().to_string(),
-                dataset: label.as_str(),
-                configuration: format!("{tiles} tiles"),
-                cycles: outcome.cycles,
-                energy_j: outcome.total_energy_j(),
-                value: outcome.stats.edges_per_second(clock),
-            });
+            for &drains in &drains_sweep {
+                let tiles = side * side;
+                let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
+                let options = RunOptions::new(side, scratchpad).with_endpoint_drains(drains);
+                let outcome = match run_dalorex(&graph, workload, options) {
+                    Ok(outcome) => outcome,
+                    Err(err) => {
+                        eprintln!("skipping {} on {tiles} tiles: {err}", workload.name());
+                        continue;
+                    }
+                };
+                let peak = tiles as f64 * 8.0 * clock;
+                table.push_row(vec![
+                    workload.name().to_string(),
+                    tiles.to_string(),
+                    drains.to_string(),
+                    format!("{:.3e}", outcome.stats.edges_per_second(clock)),
+                    format!("{:.3e}", outcome.stats.operations_per_second(clock)),
+                    format!("{:.3e}", outcome.memory_bandwidth_bytes_per_s),
+                    format!("{peak:.3e}"),
+                ]);
+                measurements.push(Measurement {
+                    experiment: "fig7".to_string(),
+                    workload: workload.name().to_string(),
+                    dataset: label.as_str(),
+                    configuration: format!("{tiles} tiles, {drains} drains"),
+                    cycles: outcome.cycles,
+                    energy_j: outcome.total_energy_j(),
+                    value: outcome.stats.edges_per_second(clock),
+                    endpoint_drains: drains,
+                    rejected_injections: outcome.stats.noc.total_injection_rejections(),
+                });
+            }
         }
     }
 

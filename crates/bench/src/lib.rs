@@ -14,14 +14,29 @@
 //! | Section V-A area / power-density claims | `area_report` |
 //!
 //! All binaries print aligned tables (and `--csv` prints machine-readable
-//! CSV).  By default they run at a reduced *reproduction scale* so the whole
+//! CSV; `--json <path>` writes the underlying [`report::Measurement`]s).
+//! By default they run at a reduced *reproduction scale* so the whole
 //! suite completes on a laptop; set `DALOREX_SCALE_SHIFT` (smaller shift =
 //! bigger graphs, 0 = the paper's original sizes) and `DALOREX_MAX_SIDE`
-//! to push the experiments toward the paper's scale.
+//! to push the experiments toward the paper's scale.  The scaling figures
+//! (`fig06_scaling`, `fig07_throughput`) additionally accept
+//! `--max-side <n>` (reach the paper's 32x32 / 64x64 grids in one
+//! invocation) and `--drains <a,b,...>` (sweep the endpoint bandwidth,
+//! messages per tile per cycle); the drain budget and the NoC's
+//! injection-rejection count are emitted into the JSON report.
+//! `docs/FIGURES.md` maps every binary to its paper figure, flags and
+//! output shape.
+//!
+//! The crate itself is thin: [`datasets`] builds the catalogued graphs at
+//! reproduction scale, [`runner`] configures and runs one simulation per
+//! figure cell, and [`report`] renders tables/CSV/JSON.
 //!
 //! The Criterion benches under `benches/` exercise the same code paths at
 //! small fixed sizes so `cargo bench --workspace` provides regression
-//! tracking for the simulator's hot loops.
+//! tracking for the simulator's hot loops.  `sim_microbench`'s
+//! `torus_64x64_cycle_*` pair measures the event-driven `Network::cycle`
+//! against the pre-overhaul reference scan on a dense 64x64 torus — the
+//! ≥2x cycles/sec acceptance case for the hot-path overhaul.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

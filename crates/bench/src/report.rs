@@ -108,6 +108,12 @@ pub struct Measurement {
     pub energy_j: f64,
     /// Figure-specific value (speedup, edges/s, percentage, ...), if any.
     pub value: f64,
+    /// Endpoint bandwidth the run used (messages drained/injected per tile
+    /// per cycle); 1 is the paper's single-local-port tile.
+    pub endpoint_drains: usize,
+    /// Injection attempts the NoC rejected with back-pressure during the
+    /// run (total across tiles).
+    pub rejected_injections: u64,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -148,7 +154,8 @@ impl Measurement {
         format!(
             concat!(
                 "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"dataset\":\"{}\",",
-                "\"configuration\":\"{}\",\"cycles\":{},\"energy_j\":{},\"value\":{}}}"
+                "\"configuration\":\"{}\",\"cycles\":{},\"energy_j\":{},\"value\":{},",
+                "\"endpoint_drains\":{},\"rejected_injections\":{}}}"
             ),
             json_escape(&self.experiment),
             json_escape(&self.workload),
@@ -157,6 +164,8 @@ impl Measurement {
             self.cycles,
             json_f64(self.energy_j),
             json_f64(self.value),
+            self.endpoint_drains,
+            self.rejected_injections,
         )
     }
 }
@@ -187,17 +196,71 @@ pub fn write_json(path: &str, measurements: &[Measurement]) -> Result<(), Box<dy
     Ok(())
 }
 
+/// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
+/// command line, if present.  The figure binaries use this for their sweep
+/// flags (`--json <path>`, `--max-side <n>`, `--drains <a,b,...>`).
+pub fn flag_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let assigned = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            // A following token that is itself a flag means the value was
+            // forgotten; surface that instead of consuming the other flag.
+            let value = args.next().filter(|v| !v.starts_with("--"));
+            if value.is_none() {
+                eprintln!("flag {flag} is missing its value");
+            }
+            return value;
+        }
+        if let Some(value) = arg.strip_prefix(&assigned) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
 /// Parses the `--json <path>` command-line flag used by the figure
 /// binaries to persist their measurements as JSON next to the printed
 /// table.  Returns `None` when the flag is absent or has no value.
 pub fn json_output_path() -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == "--json" {
-            return args.next();
+    flag_value("json")
+}
+
+/// Parses the `--drains <a,b,...>` flag: the endpoint-drain budgets a
+/// figure binary sweeps (default just `[1]`, the paper's single-port
+/// tile).  Invalid or zero entries are dropped with a warning on stderr
+/// so a typo'd sweep never silently measures the wrong configurations.
+pub fn drains_flag() -> Vec<usize> {
+    let mut parsed = Vec::new();
+    if let Some(list) = flag_value("drains") {
+        for entry in list.split(',') {
+            match entry.trim().parse::<usize>() {
+                Ok(drains) if drains > 0 => parsed.push(drains),
+                _ => eprintln!("ignoring invalid --drains entry {entry:?} (want a positive integer)"),
+            }
         }
     }
-    None
+    if parsed.is_empty() {
+        vec![1]
+    } else {
+        parsed
+    }
+}
+
+/// Parses the `--max-side <n>` flag overriding the `DALOREX_MAX_SIDE`
+/// environment variable, so one invocation can push a sweep to 32x32 or
+/// 64x64 grids without touching the environment.  An unparsable value is
+/// reported on stderr rather than silently falling back to the default.
+pub fn max_side_flag() -> Option<usize> {
+    let value = flag_value("max-side")?;
+    match value.parse::<usize>() {
+        Ok(side) if side > 0 => Some(side),
+        _ => {
+            eprintln!("ignoring invalid --max-side value {value:?} (want a positive integer)");
+            None
+        }
+    }
 }
 
 /// Writes `measurements` to the path given by `--json <path>`, if any.
@@ -259,6 +322,14 @@ mod tests {
     }
 
     #[test]
+    fn drains_flag_defaults_to_single_port() {
+        // The test harness never passes --drains.
+        assert_eq!(drains_flag(), vec![1]);
+        assert_eq!(max_side_flag(), None);
+        assert_eq!(flag_value("no-such-flag"), None);
+    }
+
+    #[test]
     fn measurements_serialize() {
         let m = Measurement {
             experiment: "fig5-perf".into(),
@@ -268,11 +339,15 @@ mod tests {
             cycles: 123,
             energy_j: 0.5,
             value: 221.0,
+            endpoint_drains: 2,
+            rejected_injections: 17,
         };
         let json = m.to_json();
         assert!(json.contains("fig5-perf"));
         assert!(json.contains("\"cycles\":123"));
         assert!(json.contains("\"energy_j\":0.5"));
+        assert!(json.contains("\"endpoint_drains\":2"));
+        assert!(json.contains("\"rejected_injections\":17"));
         let array = to_json_array(&[m.clone(), m]);
         assert!(array.starts_with('['));
         assert!(array.ends_with(']'));
@@ -289,6 +364,8 @@ mod tests {
             cycles: 1,
             energy_j: f64::NAN,
             value: 1.0,
+            endpoint_drains: 1,
+            rejected_injections: 0,
         };
         let json = m.to_json();
         assert!(json.contains("quote\\\"back\\\\slash\\nnewline"));

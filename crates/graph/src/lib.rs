@@ -14,7 +14,7 @@
 //!   generator used for the paper's RMAT-16/22/25/26 datasets, uniform
 //!   Erdős–Rényi graphs, regular grids, and scale-free stand-ins for the
 //!   paper's real-world datasets (Amazon, Wikipedia, LiveJournal).
-//! * [`reference`] — sequential reference implementations of every evaluated
+//! * [`mod@reference`] — sequential reference implementations of every evaluated
 //!   kernel.  The paper validates its simulator output against sequential
 //!   x86 executions; we validate against these functions.
 //! * [`stats`] — degree-distribution and partition-balance statistics used to

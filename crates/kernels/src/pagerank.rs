@@ -10,7 +10,7 @@
 //! (the host triggers the next epoch when the chip goes idle).
 //!
 //! Arithmetic is integer fixed point with scale
-//! [`PAGERANK_ONE`](dalorex_graph::reference::PAGERANK_ONE), matching the
+//! [`PAGERANK_ONE`], matching the
 //! sequential reference bit for bit.
 
 use dalorex_graph::reference::{PAGERANK_DAMPING, PAGERANK_ONE};

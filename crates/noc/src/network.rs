@@ -8,6 +8,39 @@
 //! their ejection buffers ([`Network::pop_delivered`]).  If a tile does not
 //! drain its ejection buffer, back-pressure propagates upstream exactly as
 //! in the paper's end-point-contention discussion.
+//!
+//! # Cycle-level handshake
+//!
+//! ```text
+//!   tile (TSU)                     network fabric                    tile (TSU)
+//!  ┌──────────┐  try_inject   ┌──────────────────────┐  delivery   ┌──────────┐
+//!  │ channel  │ ────────────► │ src router ──cycle()──► dst router │ ejection │
+//!  │ queues   │ ◄──Rejected── │   buffers   per hop     Local port │ buffers  │
+//!  └──────────┘ back-pressure └──────────────────────┘             └────┬─────┘
+//!                                                      pop_delivered ◄──┘
+//!                                              (≤ endpoint_drains_per_cycle
+//!                                               messages per tile per cycle)
+//! ```
+//!
+//! Endpoint bandwidth is a configuration knob
+//! ([`NocConfig::endpoint_drains_per_cycle`](crate::NocConfig)): the fabric
+//! delivers into ejection buffers without limit, and the *endpoint* — the
+//! tile draining via [`Network::pop_delivered`] and injecting via
+//! [`Network::try_inject`] — honours the per-cycle budget.  The tile
+//! simulator in `dalorex-sim` enforces it on both directions.
+//!
+//! # Hot path
+//!
+//! [`Network::cycle`] is event-driven end-to-end: only routers holding
+//! *forwardable* (non-local) messages are visited, only their occupied
+//! ports are scanned (per-port message counts in the router), only the
+//! ports the topology actually wires are considered (a mesh or plain torus
+//! never looks at ruche ports), and the active set is double-buffered
+//! through persistent scratch vectors so steady-state cycling performs no
+//! heap allocation.  The pre-overhaul implementation is preserved as
+//! [`Network::cycle_reference`] — a correctness oracle for schedule
+//! regression tests and the baseline the `sim_microbench` speedup case
+//! measures against.
 
 use crate::message::Message;
 use crate::router::{QueuedMessage, Router};
@@ -47,15 +80,31 @@ pub struct Network {
     config: NocConfig,
     grid: RoutingGrid,
     routers: Vec<Router>,
-    /// Routers that currently hold at least one buffered message.
+    /// Routers that currently hold at least one forwardable message.
     active: Vec<bool>,
     active_list: Vec<TileId>,
+    /// Double buffer for `active_list`, swapped every cycle so the hot path
+    /// never allocates.
+    active_scratch: Vec<TileId>,
+    /// Routers still holding forwardable messages after their turn; appended
+    /// to `active_list` at the end of the cycle to preserve the reference
+    /// engine's arbitration order exactly.
+    requeue_scratch: Vec<TileId>,
+    /// Non-local output ports the topology actually wires, in `Port::ALL`
+    /// order (mesh and plain torus exclude the four ruche ports).
+    forward_ports: Vec<Port>,
+    /// Precomputed link destinations, `link_dest[tile * 9 + port.index()]`:
+    /// the tile each output link leads to.  Dimension-ordered routing makes
+    /// a buffered message's output port equal to the port it is buffered
+    /// at, so the per-hop `next_hop` geometry reduces to this table lookup.
+    link_dest: Vec<TileId>,
+    /// Cached `(x, y)` coordinates per tile, sparing the routing hot path
+    /// the row-major division per candidate message.
+    coords: Vec<(u16, u16)>,
     cycle: u64,
     stats: NocStats,
     in_flight_messages: u64,
     awaiting_ejection: u64,
-    /// Cycle-coverage marker per router for exact busy-cycle accounting.
-    busy_covered_until: Vec<u64>,
     /// Tiles that received a delivery since the last call to
     /// [`Network::take_delivery_events`].
     delivery_events: Vec<TileId>,
@@ -67,14 +116,19 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration requests zero channels or zero-sized
-    /// buffers (a network that can never carry a message).
+    /// Panics if the configuration requests zero channels, zero-sized
+    /// buffers (a network that can never carry a message), or a zero
+    /// endpoint-drain budget (an endpoint that can never make progress).
     pub fn new(config: NocConfig) -> Self {
         assert!(config.channels > 0, "at least one channel is required");
         assert!(config.buffer_flits > 0, "buffers must hold at least one flit");
         assert!(
             config.ejection_buffer_flits > 0,
             "ejection buffers must hold at least one flit"
+        );
+        assert!(
+            config.endpoint_drains_per_cycle > 0,
+            "endpoints must drain at least one message per cycle"
         );
         let num_tiles = config.shape.num_tiles();
         let routers = (0..num_tiles)
@@ -87,16 +141,59 @@ impl Network {
             })
             .collect();
         let grid = RoutingGrid::new(config.shape, config.topology);
+        let has_ruche = config.topology.ruche_factor().is_some();
+        let forward_ports: Vec<Port> = Port::ALL
+            .into_iter()
+            .filter(|&p| p != Port::Local && (has_ruche || !p.is_ruche()))
+            .collect();
+        let ruche = config.topology.ruche_factor().unwrap_or(1) as isize;
+        let (width, height) = (config.shape.width() as isize, config.shape.height() as isize);
+        let mut link_dest = vec![0 as TileId; num_tiles * Port::ALL.len()];
+        for tile in 0..num_tiles {
+            let (x, y) = config.shape.coords(tile);
+            let (x, y) = (x as isize, y as isize);
+            for port in Port::ALL {
+                let (dx, dy) = match port {
+                    Port::East => (1, 0),
+                    Port::West => (-1, 0),
+                    Port::North => (0, 1),
+                    Port::South => (0, -1),
+                    Port::RucheEast => (ruche, 0),
+                    Port::RucheWest => (-ruche, 0),
+                    Port::RucheNorth => (0, ruche),
+                    Port::RucheSouth => (0, -ruche),
+                    Port::Local => (0, 0),
+                };
+                let nx = (x + dx).rem_euclid(width) as usize;
+                let ny = (y + dy).rem_euclid(height) as usize;
+                link_dest[tile * Port::ALL.len() + port.index()] =
+                    config.shape.tile_at(nx, ny);
+            }
+        }
+        let coords = (0..num_tiles)
+            .map(|tile| {
+                let (x, y) = config.shape.coords(tile);
+                (x as u16, y as u16)
+            })
+            .collect();
+        let stats = NocStats {
+            injection_rejections_per_tile: vec![0; num_tiles],
+            ..NocStats::default()
+        };
         Network {
             grid,
             routers,
             active: vec![false; num_tiles],
             active_list: Vec::new(),
+            active_scratch: Vec::new(),
+            requeue_scratch: Vec::new(),
+            forward_ports,
+            link_dest,
+            coords,
             cycle: 0,
-            stats: NocStats::default(),
+            stats,
             in_flight_messages: 0,
             awaiting_ejection: 0,
-            busy_covered_until: vec![0; num_tiles],
             delivery_events: Vec::new(),
             delivery_event_pending: vec![false; num_tiles],
             config,
@@ -111,6 +208,16 @@ impl Network {
             self.delivery_event_pending[tile] = false;
         }
         std::mem::take(&mut self.delivery_events)
+    }
+
+    /// Allocation-free variant of [`Network::take_delivery_events`]: appends
+    /// the pending delivery events to `out` (which the caller typically
+    /// clears and reuses every cycle) and resets the event list.
+    pub fn drain_delivery_events_into(&mut self, out: &mut Vec<TileId>) {
+        for &tile in &self.delivery_events {
+            self.delivery_event_pending[tile] = false;
+        }
+        out.append(&mut self.delivery_events);
     }
 
     fn note_delivery(&mut self, tile: TileId) {
@@ -148,6 +255,21 @@ impl Network {
         self.in_flight_messages == 0 && self.awaiting_ejection == 0
     }
 
+    /// Synonym for [`Network::is_idle`]: the fabric is quiescent when every
+    /// injected message has been delivered *and* drained by its endpoint.
+    /// The property suite uses this name when asserting that any
+    /// `endpoint_drains_per_cycle ≥ 1` eventually reaches quiescence.
+    pub fn quiescent(&self) -> bool {
+        self.is_idle()
+    }
+
+    /// Number of delivered messages waiting in `tile`'s ejection buffers
+    /// across all channels, in O(1).  The tile simulator polls this instead
+    /// of scanning every channel's occupancy each cycle.
+    pub fn delivered_waiting(&self, tile: TileId) -> usize {
+        self.routers[tile].msgs_at(Port::Local) as usize
+    }
+
     /// Whether a message of `flits` flits could be injected at `src` on
     /// `channel` this cycle (i.e. [`Network::try_inject`] would succeed).
     pub fn can_inject(&self, src: TileId, channel: ChannelId, flits: usize) -> bool {
@@ -167,17 +289,20 @@ impl Network {
     /// with whether it is entering a new dimension there when it arrived via
     /// `arrival_dimension`.
     fn routed_port(&self, at: TileId, dest: TileId, arrived_via: Dimension) -> (Port, bool) {
-        match self.grid.next_hop(at, dest) {
-            None => (Port::Local, false),
-            Some(hop) => {
-                let dim = port_dimension(hop.port);
-                let entering = matches!(
-                    (arrived_via, dim),
-                    (Dimension::None, _) | (Dimension::X, Dimension::Y) | (Dimension::Y, Dimension::X)
-                );
-                (hop.port, entering)
-            }
+        if at == dest {
+            return (Port::Local, false);
         }
+        let (cx, cy) = self.coords[at];
+        let (dx, dy) = self.coords[dest];
+        let hop = self
+            .grid
+            .next_hop_from((cx as usize, cy as usize), (dx as usize, dy as usize));
+        let dim = port_dimension(hop.port);
+        let entering = matches!(
+            (arrived_via, dim),
+            (Dimension::None, _) | (Dimension::X, Dimension::Y) | (Dimension::Y, Dimension::X)
+        );
+        (hop.port, entering)
     }
 
     fn first_hop_port(
@@ -203,6 +328,10 @@ impl Network {
     /// this cycle; on failure the message is handed back so the caller can
     /// retry later (channel queues in the tiles exert exactly this
     /// back-pressure on producing tasks).
+    ///
+    /// Back-pressure rejections are counted per source tile in
+    /// [`NocStats::injection_rejections_per_tile`] so a sweep can attribute
+    /// endpoint stalls to the tiles that suffered them.
     ///
     /// # Errors
     ///
@@ -248,6 +377,7 @@ impl Network {
         let bubble = flits;
         if !self.routers[src].can_accept(port, channel, flits, entering, bubble) {
             self.stats.injection_backpressure_events += 1;
+            self.stats.injection_rejections_per_tile[src] += 1;
             return Err(Rejected {
                 error: NocError::InjectionBackpressure,
                 message,
@@ -265,13 +395,12 @@ impl Network {
             self.stats.delivered_messages += 1;
             self.stats.delivered_flits += flits as u64;
             self.note_delivery(src);
+            self.routers[src].push(port, channel, queued);
         } else {
             self.in_flight_messages += 1;
+            self.routers[src].push(port, channel, queued);
+            self.mark_active(src);
         }
-        let router = &mut self.routers[src];
-        router.buffer_mut(port, channel).push(queued);
-        router.note_push();
-        self.mark_active(src);
         Ok(())
     }
 
@@ -286,6 +415,9 @@ impl Network {
     /// round-robin order. Returns `None` when the ejection buffers are
     /// empty.
     pub fn pop_delivered(&mut self, tile: TileId) -> Option<Message> {
+        if self.routers[tile].msgs_at(Port::Local) == 0 {
+            return None;
+        }
         for channel in 0..self.config.channels {
             if let Some(message) = self.pop_delivered_on(tile, channel) {
                 return Some(message);
@@ -296,13 +428,7 @@ impl Network {
 
     /// Pops the next delivered message at `tile` on a specific channel.
     pub fn pop_delivered_on(&mut self, tile: TileId, channel: ChannelId) -> Option<Message> {
-        let router = &mut self.routers[tile];
-        let buffer = router.buffer_mut(Port::Local, channel);
-        if buffer.is_empty() {
-            return None;
-        }
-        let queued = buffer.pop().expect("checked non-empty");
-        router.note_pop();
+        let queued = self.routers[tile].pop(Port::Local, channel)?;
         self.awaiting_ejection -= 1;
         Some(queued.message)
     }
@@ -322,15 +448,58 @@ impl Network {
     /// Advances the network by one cycle: every output link that is free and
     /// has a ready message whose downstream buffer can accept it forwards
     /// that message one hop.
+    ///
+    /// This is the event-driven hot path: only routers with forwardable
+    /// messages are visited, only their occupied topology ports are scanned,
+    /// and no heap allocation happens in steady state.  The forwarding
+    /// schedule (which message moves on which cycle) is bit-identical to
+    /// [`Network::cycle_reference`].
     pub fn cycle(&mut self) {
         let now = self.cycle;
-        // Snapshot the active list; routers whose buffers empty out are
-        // dropped from it, and routers that receive messages are re-added.
+        debug_assert!(self.active_scratch.is_empty());
+        std::mem::swap(&mut self.active_list, &mut self.active_scratch);
+        for i in 0..self.active_scratch.len() {
+            let tile = self.active_scratch[i];
+            self.active[tile] = false;
+            self.cycle_router(tile, now);
+            if self.routers[tile].forwardable_messages() > 0 && !self.active[tile] {
+                self.active[tile] = true;
+                self.requeue_scratch.push(tile);
+            }
+        }
+        self.active_scratch.clear();
+        self.active_list.append(&mut self.requeue_scratch);
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// The pre-overhaul cycle implementation, kept as a reference oracle.
+    ///
+    /// It scans every port of every active router (including ports the
+    /// topology never wires) and allocates a fresh snapshot vector per
+    /// cycle — exactly what the event-driven [`Network::cycle`] replaced.
+    /// Regression tests drive two networks side by side to assert the
+    /// delivery schedules stay identical, and `sim_microbench` measures the
+    /// speedup of the new path against this one.  Do not mix the two on one
+    /// network instance within a run: the active-set bookkeeping differs
+    /// (this one keeps routers with only undrained ejection messages in the
+    /// active set).
+    pub fn cycle_reference(&mut self) {
+        let now = self.cycle;
         let snapshot: Vec<TileId> = std::mem::take(&mut self.active_list);
         let mut still_active: Vec<TileId> = Vec::with_capacity(snapshot.len());
         for tile in snapshot {
             self.active[tile] = false;
-            self.cycle_router(tile, now);
+            for port in Port::ALL {
+                if port == Port::Local {
+                    continue;
+                }
+                if self.routers[tile].link_busy_until(port) > now {
+                    self.account_busy(tile, now, now + 1);
+                    continue;
+                }
+                self.try_forward_reference(tile, port, now);
+            }
             if self.routers[tile].buffered_messages() > 0 && !self.active[tile] {
                 self.active[tile] = true;
                 still_active.push(tile);
@@ -342,12 +511,15 @@ impl Network {
     }
 
     fn cycle_router(&mut self, tile: TileId, now: u64) {
-        for port in Port::ALL {
-            if port == Port::Local {
+        for i in 0..self.forward_ports.len() {
+            let port = self.forward_ports[i];
+            let router = &self.routers[tile];
+            if router.msgs_at(port) == 0 {
+                // Nothing buffered here.  Any residual link serialization was
+                // fully accounted when the occupying message was forwarded.
                 continue;
             }
-            if self.routers[tile].link_busy_until(port) > now {
-                self.account_busy(tile, now, now + 1);
+            if router.link_busy_until(port) > now {
                 continue;
             }
             self.try_forward(tile, port, now);
@@ -356,7 +528,52 @@ impl Network {
 
     /// Attempts to forward one message from (tile, port); implements
     /// round-robin channel arbitration at the output port.
+    ///
+    /// This is the optimised candidate evaluation: the per-channel
+    /// occupancy mask skips empty FIFOs without touching their heap
+    /// buffers, the link destination comes from the precomputed table, and
+    /// the downstream port is routed from cached coordinates.  The
+    /// decisions it commits are bit-identical to
+    /// [`Network::try_forward_reference`].
     fn try_forward(&mut self, tile: TileId, port: Port, now: u64) {
+        let channels = self.config.channels;
+        let start_channel = self.routers[tile].rr_channel(port);
+        for offset in 0..channels {
+            let channel = (start_channel + offset) % channels;
+            if !self.routers[tile].channel_occupied(port, channel) {
+                continue;
+            }
+            let Some((flits, dest)) = self.forwardable_message(tile, port, channel, now) else {
+                continue;
+            };
+            // Where does this link lead, and which buffer does the message
+            // occupy there?  Dimension-ordered routing buffered the message
+            // at its routed output port, so the link destination is a table
+            // lookup; the debug assertion cross-checks it against the full
+            // routing geometry.
+            let next_tile = self.link_dest[tile * Port::ALL.len() + port.index()];
+            debug_assert_eq!(
+                self.grid.next_hop(tile, dest).map(|h| (h.port, h.next)),
+                Some((port, next_tile)),
+                "a buffered message never sits at its destination's non-local port"
+            );
+            let (next_port, entering) = self.routed_port(next_tile, dest, port_dimension(port));
+            let bubble = flits;
+            if !self.routers[next_tile].can_accept(next_port, channel, flits, entering, bubble) {
+                continue;
+            }
+            self.commit_forward(tile, port, channel, flits, next_tile, next_port, now);
+            return;
+        }
+    }
+
+    /// The pre-overhaul candidate evaluation, kept verbatim for
+    /// [`Network::cycle_reference`]: every channel FIFO is probed directly
+    /// and the routing geometry is recomputed per candidate, exactly as the
+    /// original hot path did.  Both evaluations funnel into
+    /// [`Network::commit_forward`], so they cannot diverge in behaviour —
+    /// only in cost.
+    fn try_forward_reference(&mut self, tile: TileId, port: Port, now: u64) {
         let channels = self.config.channels;
         let start_channel = self.routers[tile].rr_channel(port);
         for offset in 0..channels {
@@ -364,56 +581,78 @@ impl Network {
             let Some((flits, dest)) = self.forwardable_message(tile, port, channel, now) else {
                 continue;
             };
-            // Where does this link lead, and which buffer does the message
-            // occupy there?
             let hop = self
                 .grid
                 .next_hop(tile, dest)
                 .expect("a buffered message never sits at its destination's non-local port");
             debug_assert_eq!(hop.port, port);
             let next_tile = hop.next;
-            let (next_port, entering) = self.routed_port(next_tile, dest, port_dimension(port));
+            let (next_port, entering) = match self.grid.next_hop(next_tile, dest) {
+                None => (Port::Local, false),
+                Some(next_hop) => {
+                    let dim = port_dimension(next_hop.port);
+                    let entering = matches!(
+                        (port_dimension(port), dim),
+                        (Dimension::None, _)
+                            | (Dimension::X, Dimension::Y)
+                            | (Dimension::Y, Dimension::X)
+                    );
+                    (next_hop.port, entering)
+                }
+            };
             let bubble = flits;
             if !self.routers[next_tile].can_accept(next_port, channel, flits, entering, bubble) {
                 continue;
             }
-
-            // Commit the transfer.
-            let queued = self.routers[tile]
-                .buffer_mut(port, channel)
-                .pop()
-                .expect("forwardable message exists");
-            self.routers[tile].note_pop();
-            let serialization = flits as u64;
-            self.routers[tile].set_link_busy_until(port, now + serialization);
-            self.routers[tile].flits_per_port[port.index()] += flits as u64;
-            self.account_busy(tile, now, now + serialization);
-
-            self.stats.flit_hops += flits as u64;
-            self.stats.flit_tile_spans +=
-                flits as f64 * self.config.topology.hop_wire_tiles(port.hop_kind());
-
-            let arriving = QueuedMessage {
-                ready_at: now + serialization,
-                message: queued.message,
-            };
-            if next_port == Port::Local {
-                self.in_flight_messages -= 1;
-                self.awaiting_ejection += 1;
-                self.stats.delivered_messages += 1;
-                self.stats.delivered_flits += flits as u64;
-                self.stats.total_latency_cycles +=
-                    now + serialization - arriving.message.injected_at;
-                self.note_delivery(next_tile);
-            }
-            self.routers[next_tile]
-                .buffer_mut(next_port, channel)
-                .push(arriving);
-            self.routers[next_tile].note_push();
-            self.mark_active(next_tile);
-            self.routers[tile].advance_rr(port, channels);
+            self.commit_forward(tile, port, channel, flits, next_tile, next_port, now);
             return;
         }
+    }
+
+    /// Commits one forwarding decision: dequeues the message, occupies the
+    /// link, accounts busy time and traffic statistics, and enqueues the
+    /// message downstream (ejecting it if the downstream port is local).
+    #[allow(clippy::too_many_arguments)]
+    fn commit_forward(
+        &mut self,
+        tile: TileId,
+        port: Port,
+        channel: ChannelId,
+        flits: usize,
+        next_tile: TileId,
+        next_port: Port,
+        now: u64,
+    ) {
+        let queued = self.routers[tile]
+            .pop(port, channel)
+            .expect("forwardable message exists");
+        let serialization = flits as u64;
+        self.routers[tile].set_link_busy_until(port, now + serialization);
+        self.routers[tile].flits_per_port[port.index()] += flits as u64;
+        self.account_busy(tile, now, now + serialization);
+
+        self.stats.flit_hops += flits as u64;
+        self.stats.flit_tile_spans +=
+            flits as f64 * self.config.topology.hop_wire_tiles(port.hop_kind());
+
+        let arriving = QueuedMessage {
+            ready_at: now + serialization,
+            message: queued.message,
+        };
+        if next_port == Port::Local {
+            self.in_flight_messages -= 1;
+            self.awaiting_ejection += 1;
+            self.stats.delivered_messages += 1;
+            self.stats.delivered_flits += flits as u64;
+            self.stats.total_latency_cycles +=
+                now + serialization - arriving.message.injected_at;
+            self.note_delivery(next_tile);
+            self.routers[next_tile].push(next_port, channel, arriving);
+        } else {
+            self.routers[next_tile].push(next_port, channel, arriving);
+            self.mark_active(next_tile);
+        }
+        self.routers[tile].advance_rr(port, self.config.channels);
     }
 
     /// Returns `(flits, dest)` of the head message on (tile, port, channel)
@@ -434,13 +673,14 @@ impl Network {
     }
 
     /// Accounts busy cycles for a router as the union of its ports' link
-    /// activity intervals.
+    /// activity intervals.  The coverage marker lives inside the router so
+    /// the accounting touches no memory beyond the router already in cache.
     fn account_busy(&mut self, tile: TileId, from: u64, until: u64) {
-        let covered = &mut self.busy_covered_until[tile];
-        let start = from.max(*covered);
+        let router = &mut self.routers[tile];
+        let start = from.max(router.busy_covered_until);
         if until > start {
-            self.routers[tile].busy_cycles += until - start;
-            *covered = until;
+            router.busy_cycles += until - start;
+            router.busy_covered_until = until;
         }
     }
 
@@ -517,9 +757,11 @@ mod tests {
         let mut net = small_net(Topology::Torus);
         net.try_inject(5, Message::new(5, 0, vec![99])).unwrap();
         assert_eq!(net.awaiting_ejection(), 1);
+        assert_eq!(net.delivered_waiting(5), 1);
         let msg = net.pop_delivered(5).unwrap();
         assert_eq!(msg.payload(), &[99]);
         assert!(net.is_idle());
+        assert!(net.quiescent());
     }
 
     #[test]
@@ -533,6 +775,8 @@ mod tests {
         assert!(matches!(err.error, NocError::ChannelOutOfRange { .. }));
         // The rejected message is handed back intact.
         assert_eq!(err.message.payload(), &[1]);
+        // Addressing errors are caller bugs, not endpoint back-pressure.
+        assert_eq!(net.stats().total_injection_rejections(), 0);
     }
 
     #[test]
@@ -559,6 +803,9 @@ mod tests {
         let err = net.try_inject(0, Message::new(1, 0, vec![4, 5, 6])).unwrap_err();
         assert!(matches!(err.error, NocError::InjectionBackpressure));
         assert_eq!(net.stats().injection_backpressure_events, 1);
+        // The rejection is attributed to the injecting tile.
+        assert_eq!(net.stats().injection_rejections_per_tile, vec![1, 0]);
+        assert_eq!(net.stats().total_injection_rejections(), 1);
         // After the network drains, injection succeeds again.
         run_until_idle(&mut net, 100);
         net.pop_delivered(1).unwrap();
@@ -707,10 +954,73 @@ mod tests {
     }
 
     #[test]
+    fn drain_delivery_events_into_reuses_the_buffer() {
+        let mut net = small_net(Topology::Torus);
+        net.try_inject(0, Message::new(9, 0, vec![1])).unwrap();
+        run_until_idle(&mut net, 1000);
+        let mut events = Vec::new();
+        net.drain_delivery_events_into(&mut events);
+        assert_eq!(events, vec![9]);
+        events.clear();
+        net.drain_delivery_events_into(&mut events);
+        assert!(events.is_empty());
+        // A later delivery re-arms the event.
+        net.try_inject(0, Message::new(9, 0, vec![2])).unwrap();
+        run_until_idle(&mut net, 1000);
+        net.drain_delivery_events_into(&mut events);
+        assert_eq!(events, vec![9]);
+    }
+
+    #[test]
     fn single_tile_grid_delivers_locally() {
         let mut net = Network::new(NocConfig::new(GridShape::new(1, 1), Topology::Mesh));
         assert!(net.can_inject(0, 0, 2));
         net.try_inject(0, Message::new(0, 0, vec![1, 2])).unwrap();
         assert_eq!(net.pop_delivered(0).unwrap().payload(), &[1, 2]);
+    }
+
+    /// Drives the same traffic through the event-driven cycle and the
+    /// reference cycle, asserting the per-cycle delivery schedules and final
+    /// statistics are identical.
+    #[test]
+    fn event_driven_cycle_matches_reference_schedule() {
+        for topology in [
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::TorusRuche { factor: 2 },
+        ] {
+            let mut fast = small_net(topology);
+            let mut reference = small_net(topology);
+            let traffic: Vec<(usize, usize, usize, usize)> = (0..48)
+                .map(|i| (i % 16, (i * 7 + 3) % 16, i % 4, 1 + i % 3))
+                .collect();
+            let mut schedule_fast = Vec::new();
+            let mut schedule_ref = Vec::new();
+            for step in 0..400u64 {
+                if let Some(&(src, dst, ch, len)) = traffic.get(step as usize) {
+                    let a = fast.try_inject(src, Message::new(dst, ch, vec![7u32; len]));
+                    let b = reference.try_inject(src, Message::new(dst, ch, vec![7u32; len]));
+                    assert_eq!(a.is_ok(), b.is_ok(), "injection diverged at step {step}");
+                }
+                fast.cycle();
+                reference.cycle_reference();
+                schedule_fast.push((fast.stats().delivered_messages, fast.stats().flit_hops));
+                schedule_ref.push((
+                    reference.stats().delivered_messages,
+                    reference.stats().flit_hops,
+                ));
+                // Drain one message per tile per cycle on both.
+                for tile in 0..16 {
+                    let a = fast.pop_delivered(tile);
+                    let b = reference.pop_delivered(tile);
+                    assert_eq!(a.as_ref().map(|m| m.payload().len()), b.as_ref().map(|m| m.payload().len()));
+                }
+            }
+            assert_eq!(schedule_fast, schedule_ref, "schedule diverged on {topology:?}");
+            assert!(fast.is_idle() && reference.is_idle());
+            assert_eq!(fast.stats().total_latency_cycles, reference.stats().total_latency_cycles);
+            assert_eq!(fast.router_utilization(), reference.router_utilization());
+            assert_eq!(fast.flits_per_router(), reference.flits_per_router());
+        }
     }
 }

@@ -10,6 +10,17 @@
 //! retains at least one maximal message worth of free space afterwards,
 //! while messages continuing along the same dimension only need their own
 //! space.
+//!
+//! # Hot-path layout
+//!
+//! The router is on the innermost loop of [`crate::Network::cycle`], so its
+//! state is laid out for that loop: all `(port, channel)` FIFOs live in one
+//! flat `Vec` (index
+//! `port.index() * channels + channel`, one pointer indirection instead of
+//! two), and a per-port message count lets the network skip empty ports
+//! without touching any buffer.  Pushes and pops go through
+//! `Router::push` / `Router::pop` so the occupancy counters can never
+//! drift from the FIFO contents.
 
 use crate::message::Message;
 use crate::topology::Port;
@@ -50,102 +61,172 @@ impl ChannelBuffer {
         self.occupied_flits
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+    pub(crate) fn front(&self) -> Option<&QueuedMessage> {
+        self.queue.front()
     }
 
-    pub(crate) fn push(&mut self, queued: QueuedMessage) {
+    fn push(&mut self, queued: QueuedMessage) {
         debug_assert!(queued.message.len() <= self.free_flits());
         self.occupied_flits += queued.message.len();
         self.queue.push_back(queued);
     }
 
-    pub(crate) fn front(&self) -> Option<&QueuedMessage> {
-        self.queue.front()
-    }
-
-    pub(crate) fn pop(&mut self) -> Option<QueuedMessage> {
+    fn pop(&mut self) -> Option<QueuedMessage> {
         let queued = self.queue.pop_front()?;
         self.occupied_flits -= queued.message.len();
         Some(queued)
     }
 }
 
+/// Number of output ports per router (the length of [`Port::ALL`]).
+const NUM_PORTS: usize = Port::ALL.len();
+
 /// Router state for one tile.
+///
+/// The fixed-size per-port state lives in inline arrays, not `Vec`s, so
+/// the whole `routers` vector of a [`crate::Network`] is one contiguous
+/// allocation and the per-cycle port scan touches a handful of cache lines
+/// instead of chasing five heap pointers per router.
 #[derive(Debug, Clone)]
 pub(crate) struct Router {
-    /// `buffers[port][channel]`.
-    buffers: Vec<Vec<ChannelBuffer>>,
+    /// All `(port, channel)` FIFOs, flat: `buffers[port.index() * channels
+    /// + channel]`.
+    buffers: Vec<ChannelBuffer>,
+    /// Number of channels (the flat-index stride).
+    channels: usize,
     /// Cycle until which each output link is transmitting.
-    link_busy_until: Vec<u64>,
+    link_busy_until: [u64; NUM_PORTS],
     /// Round-robin arbitration pointer per output port.
-    rr_next_channel: Vec<ChannelId>,
+    rr_next_channel: [u32; NUM_PORTS],
+    /// Messages currently buffered per output port (all channels).
+    msgs_per_port: [u32; NUM_PORTS],
+    /// Bitmask of channels with at least one buffered message, per port.
+    /// Lets the channel arbitration skip empty FIFOs without touching
+    /// their heap buffers (each FIFO is its own allocation).
+    occupied_channels: [u32; NUM_PORTS],
     /// Total messages currently buffered at this router (all ports).
     buffered_messages: usize,
     /// Cycles in which at least one output link of this router transmitted.
     pub(crate) busy_cycles: u64,
+    /// Cycle up to which `busy_cycles` already covers this router's link
+    /// activity (the union-of-intervals marker for exact busy accounting).
+    pub(crate) busy_covered_until: u64,
     /// Flits forwarded through each output port.
-    pub(crate) flits_per_port: Vec<u64>,
+    pub(crate) flits_per_port: [u64; NUM_PORTS],
 }
 
 impl Router {
     pub(crate) fn new(channels: usize, buffer_flits: usize, ejection_flits: usize) -> Self {
-        let num_ports = Port::ALL.len();
-        let mut buffers = Vec::with_capacity(num_ports);
+        let mut buffers = Vec::with_capacity(NUM_PORTS * channels);
         for port in Port::ALL {
             let capacity = if port == Port::Local {
                 ejection_flits
             } else {
                 buffer_flits
             };
-            buffers.push((0..channels).map(|_| ChannelBuffer::new(capacity)).collect());
+            buffers.extend((0..channels).map(|_| ChannelBuffer::new(capacity)));
         }
         Router {
             buffers,
-            link_busy_until: vec![0; num_ports],
-            rr_next_channel: vec![0; num_ports],
+            channels,
+            link_busy_until: [0; NUM_PORTS],
+            rr_next_channel: [0; NUM_PORTS],
+            msgs_per_port: [0; NUM_PORTS],
+            occupied_channels: [0; NUM_PORTS],
             buffered_messages: 0,
             busy_cycles: 0,
-            flits_per_port: vec![0; num_ports],
+            busy_covered_until: 0,
+            flits_per_port: [0; NUM_PORTS],
         }
     }
 
+    #[inline]
+    fn index(&self, port: Port, channel: ChannelId) -> usize {
+        port.index() * self.channels + channel
+    }
+
+    #[inline]
     pub(crate) fn buffer(&self, port: Port, channel: ChannelId) -> &ChannelBuffer {
-        &self.buffers[port.index()][channel]
+        &self.buffers[self.index(port, channel)]
     }
 
-    pub(crate) fn buffer_mut(&mut self, port: Port, channel: ChannelId) -> &mut ChannelBuffer {
-        &mut self.buffers[port.index()][channel]
+    /// Queues a message at `(port, channel)`, keeping the occupancy
+    /// counters in sync.
+    #[inline]
+    pub(crate) fn push(&mut self, port: Port, channel: ChannelId, queued: QueuedMessage) {
+        let index = self.index(port, channel);
+        self.buffers[index].push(queued);
+        self.msgs_per_port[port.index()] += 1;
+        if self.channels <= 32 {
+            self.occupied_channels[port.index()] |= 1u32 << channel as u32;
+        }
+        self.buffered_messages += 1;
     }
 
+    /// Dequeues the head message at `(port, channel)`, keeping the
+    /// occupancy counters in sync.
+    #[inline]
+    pub(crate) fn pop(&mut self, port: Port, channel: ChannelId) -> Option<QueuedMessage> {
+        let index = self.index(port, channel);
+        let queued = self.buffers[index].pop()?;
+        if self.channels <= 32 && self.buffers[index].front().is_none() {
+            self.occupied_channels[port.index()] &= !(1u32 << channel as u32);
+        }
+        self.msgs_per_port[port.index()] -= 1;
+        debug_assert!(self.buffered_messages > 0);
+        self.buffered_messages -= 1;
+        Some(queued)
+    }
+
+    /// Messages buffered at one output port (all channels).
+    #[inline]
+    pub(crate) fn msgs_at(&self, port: Port) -> u32 {
+        self.msgs_per_port[port.index()]
+    }
+
+    /// Whether `(port, channel)` holds at least one message, without
+    /// touching the FIFO's heap buffer.  Conservatively true for networks
+    /// with more than 32 channels, where the mask is not maintained.
+    #[inline]
+    pub(crate) fn channel_occupied(&self, port: Port, channel: ChannelId) -> bool {
+        self.channels > 32
+            || self.occupied_channels[port.index()] & (1u32 << channel as u32) != 0
+    }
+
+    /// Messages buffered at every port, including the local (ejection)
+    /// port.
     pub(crate) fn buffered_messages(&self) -> usize {
         self.buffered_messages
     }
 
-    pub(crate) fn note_push(&mut self) {
-        self.buffered_messages += 1;
+    /// Messages buffered at non-local ports — the ones
+    /// [`crate::Network::cycle`] could still move.  A router whose only
+    /// content is undrained ejection-buffer messages has nothing to forward
+    /// and can leave the active set.
+    #[inline]
+    pub(crate) fn forwardable_messages(&self) -> usize {
+        self.buffered_messages - self.msgs_at(Port::Local) as usize
     }
 
-    pub(crate) fn note_pop(&mut self) {
-        debug_assert!(self.buffered_messages > 0);
-        self.buffered_messages -= 1;
-    }
-
+    #[inline]
     pub(crate) fn link_busy_until(&self, port: Port) -> u64 {
         self.link_busy_until[port.index()]
     }
 
+    #[inline]
     pub(crate) fn set_link_busy_until(&mut self, port: Port, cycle: u64) {
         self.link_busy_until[port.index()] = cycle;
     }
 
+    #[inline]
     pub(crate) fn rr_channel(&self, port: Port) -> ChannelId {
-        self.rr_next_channel[port.index()]
+        self.rr_next_channel[port.index()] as ChannelId
     }
 
+    #[inline]
     pub(crate) fn advance_rr(&mut self, port: Port, channels: usize) {
         let slot = &mut self.rr_next_channel[port.index()];
-        *slot = (*slot + 1) % channels;
+        *slot = (*slot + 1) % channels as u32;
     }
 
     /// Whether the buffer can accept a message of `flits` under the bubble
@@ -179,17 +260,21 @@ mod tests {
         Message::new(0, 0, vec![0; flits])
     }
 
+    fn queued(flits: usize) -> QueuedMessage {
+        QueuedMessage {
+            message: message(flits),
+            ready_at: 0,
+        }
+    }
+
     #[test]
     fn channel_buffer_tracks_occupancy() {
         let mut buffer = ChannelBuffer::new(8);
         assert_eq!(buffer.free_flits(), 8);
-        buffer.push(QueuedMessage {
-            message: message(3),
-            ready_at: 0,
-        });
+        buffer.push(queued(3));
         assert_eq!(buffer.free_flits(), 5);
         assert_eq!(buffer.occupied_flits(), 3);
-        assert!(!buffer.is_empty());
+        assert!(buffer.front().is_some());
         let popped = buffer.pop().unwrap();
         assert_eq!(popped.message.len(), 3);
         assert_eq!(buffer.free_flits(), 8);
@@ -221,12 +306,22 @@ mod tests {
     }
 
     #[test]
-    fn router_message_count_tracking() {
-        let mut router = Router::new(1, 8, 8);
+    fn push_and_pop_keep_per_port_counts_exact() {
+        let mut router = Router::new(2, 16, 16);
         assert_eq!(router.buffered_messages(), 0);
-        router.note_push();
-        router.note_push();
-        router.note_pop();
-        assert_eq!(router.buffered_messages(), 1);
+        router.push(Port::East, 0, queued(2));
+        router.push(Port::East, 1, queued(3));
+        router.push(Port::Local, 0, queued(1));
+        assert_eq!(router.buffered_messages(), 3);
+        assert_eq!(router.msgs_at(Port::East), 2);
+        assert_eq!(router.msgs_at(Port::Local), 1);
+        assert_eq!(router.msgs_at(Port::West), 0);
+        assert_eq!(router.forwardable_messages(), 2);
+        let popped = router.pop(Port::East, 0).unwrap();
+        assert_eq!(popped.message.len(), 2);
+        assert_eq!(router.msgs_at(Port::East), 1);
+        assert_eq!(router.buffered_messages(), 2);
+        assert!(router.pop(Port::East, 0).is_none());
+        assert_eq!(router.msgs_at(Port::East), 1);
     }
 }

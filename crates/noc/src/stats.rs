@@ -25,6 +25,12 @@ pub struct NocStats {
     pub total_latency_cycles: u64,
     /// Number of injection attempts rejected by back-pressure.
     pub injection_backpressure_events: u64,
+    /// Back-pressure rejections per source tile (row-major, sized by the
+    /// network at construction).  `try_inject` returning the message to the
+    /// caller used to be the only trace a rejection left; this counter
+    /// attributes every rejected attempt to the tile that suffered it so
+    /// sweeps can report where endpoint stalls concentrate.
+    pub injection_rejections_per_tile: Vec<u64>,
 }
 
 impl NocStats {
@@ -53,6 +59,12 @@ impl NocStats {
         } else {
             self.delivered_messages as f64 / self.cycles as f64
         }
+    }
+
+    /// Total back-pressure rejections across all tiles (the sum of
+    /// [`NocStats::injection_rejections_per_tile`]).
+    pub fn total_injection_rejections(&self) -> u64 {
+        self.injection_rejections_per_tile.iter().sum()
     }
 }
 
@@ -172,10 +184,13 @@ mod tests {
             flit_tile_spans: 90.0,
             total_latency_cycles: 200,
             injection_backpressure_events: 0,
+            injection_rejections_per_tile: vec![0, 3, 1, 0],
         };
         assert_eq!(stats.average_latency(), 20.0);
         assert_eq!(stats.average_hops_per_flit(), 3.0);
         assert!((stats.throughput() - 0.1).abs() < 1e-12);
+        assert_eq!(stats.total_injection_rejections(), 4);
+        assert_eq!(NocStats::default().total_injection_rejections(), 0);
     }
 
     #[test]

@@ -298,15 +298,27 @@ impl RoutingGrid {
         if current == dest {
             return None;
         }
-        let (cx, cy) = self.shape.coords(current);
-        let (dx_coord, dy_coord) = self.shape.coords(dest);
+        Some(self.next_hop_from(self.shape.coords(current), self.shape.coords(dest)))
+    }
+
+    /// [`RoutingGrid::next_hop`] with both tiles' coordinates already in
+    /// hand.  Hot callers (the network's per-candidate routing) cache the
+    /// row-major→`(x, y)` conversion, so this entry point skips the two
+    /// divisions `next_hop` would redo.
+    ///
+    /// The caller guarantees `current != dest`.
+    #[inline]
+    pub fn next_hop_from(&self, current: (usize, usize), dest: (usize, usize)) -> Hop {
+        let (cx, cy) = current;
+        let (dx_coord, dy_coord) = dest;
+        debug_assert!(current != dest, "next_hop_from requires distinct tiles");
         let delta_x = self.dimension_delta(cx, dx_coord, self.shape.width);
         let delta_y = self.dimension_delta(cy, dy_coord, self.shape.height);
 
         if delta_x != 0 {
-            Some(self.hop_in_x(cx, cy, delta_x))
+            self.hop_in_x(cx, cy, delta_x)
         } else {
-            Some(self.hop_in_y(cx, cy, delta_y))
+            self.hop_in_y(cx, cy, delta_y)
         }
     }
 

@@ -87,6 +87,13 @@ pub struct SimConfig {
     pub noc_buffer_flits: usize,
     /// Ejection (local delivery) buffer capacity per channel, in flits.
     pub noc_ejection_flits: usize,
+    /// Endpoint bandwidth in messages per tile per cycle (default 1): how
+    /// many arriving messages the TSU drains from the ejection buffers, and
+    /// how many channel-queue messages it injects into the router, each
+    /// cycle.  The paper's tiles have a single local router port (1); wider
+    /// endpoints remove the injection/ejection serialization that dominates
+    /// small grids, letting sweeps isolate fabric contention.
+    pub endpoint_drains_per_cycle: usize,
     /// Hard cycle limit after which the simulation aborts.
     pub max_cycles: u64,
     /// Cycles without any progress after which a deadlock is reported.
@@ -151,6 +158,7 @@ impl SimConfigBuilder {
                 scratchpad_bytes: 4 * 1024 * 1024,
                 noc_buffer_flits: 16,
                 noc_ejection_flits: 64,
+                endpoint_drains_per_cycle: 1,
                 max_cycles: 200_000_000,
                 watchdog_cycles: 2_000_000,
                 epoch_broadcast_cycles: (grid.width + grid.height) as u64,
@@ -201,6 +209,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the endpoint bandwidth: messages drained from the ejection
+    /// buffers — and injected from the channel queues — per tile per cycle.
+    /// The default of 1 models the paper's single local router port.
+    pub fn endpoint_drains_per_cycle(mut self, drains: usize) -> Self {
+        self.config.endpoint_drains_per_cycle = drains;
+        self
+    }
+
     /// Overrides the hard cycle limit.
     pub fn max_cycles(mut self, cycles: u64) -> Self {
         self.config.max_cycles = cycles;
@@ -242,6 +258,9 @@ impl SimConfigBuilder {
         if c.noc_buffer_flits == 0 || c.noc_ejection_flits == 0 {
             return reject("NoC buffers must hold at least one flit");
         }
+        if c.endpoint_drains_per_cycle == 0 {
+            return reject("endpoints must drain at least one message per cycle");
+        }
         if c.max_cycles == 0 || c.watchdog_cycles == 0 {
             return reject("cycle limits must be non-zero");
         }
@@ -266,6 +285,7 @@ mod tests {
         assert_eq!(config.vertex_placement, VertexPlacement::Interleaved);
         assert_eq!(config.barrier_mode, BarrierMode::Barrierless);
         assert_eq!(config.scratchpad_bytes, 4 * 1024 * 1024);
+        assert_eq!(config.endpoint_drains_per_cycle, 1);
     }
 
     #[test]
@@ -286,11 +306,13 @@ mod tests {
             .scratchpad_bytes(1024)
             .noc_buffer_flits(8)
             .noc_ejection_flits(8)
+            .endpoint_drains_per_cycle(4)
             .max_cycles(1000)
             .watchdog_cycles(100)
             .build()
             .unwrap();
         assert_eq!(config.grid.num_tiles(), 6);
+        assert_eq!(config.endpoint_drains_per_cycle, 4);
         assert_eq!(config.topology, Topology::Mesh);
         assert_eq!(config.scheduling, SchedulingPolicy::RoundRobin);
         assert_eq!(config.vertex_placement, VertexPlacement::Chunked);
@@ -307,6 +329,10 @@ mod tests {
             .is_err());
         assert!(SimConfigBuilder::new(GridConfig::square(4))
             .noc_buffer_flits(0)
+            .build()
+            .is_err());
+        assert!(SimConfigBuilder::new(GridConfig::square(4))
+            .endpoint_drains_per_cycle(0)
             .build()
             .is_err());
         assert!(SimConfigBuilder::new(GridConfig::square(4))

@@ -9,13 +9,21 @@
 //!
 //! Per cycle, each active tile's TSU:
 //!
-//! 1. drains at most one arriving message from the network into the
-//!    destination task's input queue (the head decoder converts the head
-//!    flit's global index into a local offset),
-//! 2. injects at most one message from a channel queue into the network
-//!    (the head encoder derives the destination tile from the global index),
+//! 1. drains up to `endpoint_drains_per_cycle` arriving messages from the
+//!    network into the destination tasks' input queues (the head decoder
+//!    converts the head flit's global index into a local offset),
+//! 2. injects up to `endpoint_drains_per_cycle` messages from the channel
+//!    queues into the network (the head encoder derives the destination
+//!    tile from the global index),
 //! 3. dispatches a task to the PU if the PU is free and a task is eligible
 //!    under the scheduling policy.
+//!
+//! At the default endpoint budget of 1 the schedule is identical to the
+//! original single-port engine (each step touches at most one message per
+//! cycle); larger budgets model wider endpoint interfaces, with
+//! back-pressure still exact: a rejected channel stays parked for the rest
+//! of the cycle, and ejection-buffer occupancy keeps throttling upstream
+//! routers.
 //!
 //! Task bodies execute functionally at dispatch and charge their cycle cost
 //! to the PU, which stays busy for that many cycles (`DESIGN.md` §2).
@@ -189,7 +197,8 @@ impl Simulation {
         let noc_config = NocConfig::new(self.config.grid.shape(), self.config.topology)
             .with_channels(channels.len().max(1))
             .with_buffer_flits(self.config.noc_buffer_flits)
-            .with_ejection_buffer_flits(self.config.noc_ejection_flits);
+            .with_ejection_buffer_flits(self.config.noc_ejection_flits)
+            .with_endpoint_drains(self.config.endpoint_drains_per_cycle);
         let mut network = Network::new(noc_config);
 
         let mut schedulers: Vec<Scheduler> = (0..num_tiles)
@@ -200,6 +209,8 @@ impl Simulation {
         let mut active: Vec<bool> = tiles.iter().map(|t| !t.is_idle(0)).collect();
         let mut active_list: Vec<usize> =
             (0..num_tiles).filter(|&t| active[t]).collect();
+        let mut active_scratch: Vec<usize> = Vec::new();
+        let mut delivery_events: Vec<usize> = Vec::new();
 
         let mut cycle: u64 = 0;
         let mut epochs: u64 = 0;
@@ -245,19 +256,23 @@ impl Simulation {
             }
 
             // Advance the network one cycle, then wake tiles that received
-            // deliveries.
+            // deliveries (reusing the event buffer so the steady-state loop
+            // does not allocate).
             network.cycle();
-            for tile in network.take_delivery_events() {
+            delivery_events.clear();
+            network.drain_delivery_events_into(&mut delivery_events);
+            for &tile in &delivery_events {
                 if !active[tile] {
                     active[tile] = true;
                     active_list.push(tile);
                 }
             }
 
-            // Advance every active tile.
-            let snapshot = std::mem::take(&mut active_list);
-            let mut still_active = Vec::with_capacity(snapshot.len());
-            for t in snapshot {
+            // Advance every active tile, double-buffering the active list
+            // through a persistent scratch vector.
+            debug_assert!(active_scratch.is_empty());
+            std::mem::swap(&mut active_list, &mut active_scratch);
+            for &t in &active_scratch {
                 active[t] = false;
                 self.tile_cycle(
                     kernel,
@@ -270,14 +285,12 @@ impl Simulation {
                     cycle,
                     &mut total_dispatches,
                 );
-                let has_pending_delivery = (0..channels.len())
-                    .any(|ch| network.ejection_occupancy(t, ch) > 0);
-                if !tiles[t].is_idle(cycle + 1) || has_pending_delivery {
+                if !tiles[t].is_idle(cycle + 1) || network.delivered_waiting(t) > 0 {
                     active[t] = true;
-                    still_active.push(t);
+                    active_list.push(t);
                 }
             }
-            active_list = still_active;
+            active_scratch.clear();
 
             cycle += 1;
             if cycle >= self.config.max_cycles {
@@ -359,57 +372,103 @@ impl Simulation {
         total_dispatches: &mut u64,
     ) {
         let tile_id = tile.tile;
+        let endpoint_budget = self.config.endpoint_drains_per_cycle;
 
-        // 1. Drain one arriving message into its task's IQ (head decode:
-        //    global index -> local offset).
-        for (channel, decl) in channels.iter().enumerate() {
-            let Some(message) = network.peek_delivered_on(tile_id, channel) else {
-                continue;
-            };
-            let dest_task = decl.dest_task;
-            if !tile.iqs[dest_task].can_push(message.len()) {
-                continue; // end-point back-pressure: leave it in the ejection buffer
-            }
-            let message = network
-                .pop_delivered_on(tile_id, channel)
-                .expect("peeked message is present");
-            let mut words = message.into_payload();
-            words[0] = self.placement.to_local(decl.space, words[0] as usize) as u32;
-            let pushed = tile.iqs[dest_task].try_push(&words);
-            debug_assert!(pushed);
-            // The TSU writes the words into the IQ (scratchpad writes).
-            tile.counters.sram_writes += words.len() as u64;
-            break;
-        }
-
-        // 2. Inject one message from a channel queue into the network (head
-        //    encode: global index -> destination tile).
-        for (channel, decl) in channels.iter().enumerate() {
-            let flits = decl.flits_per_message;
-            if tile.cqs[channel].len() < flits {
-                continue;
-            }
-            let head = tile.cqs[channel].peek().expect("non-empty CQ");
-            let dest = self.placement.owner(decl.space, head as usize);
-            let words = tile.cqs[channel]
-                .pop_invocation(flits)
-                .expect("checked length");
-            match network.try_inject(tile_id, Message::new(dest, channel, words)) {
-                Ok(()) => {
-                    // Reading the words out of the CQ costs scratchpad reads
-                    // once the router accepts the message. One injection per
-                    // cycle: the router has a single local input port.
-                    tile.counters.sram_reads += flits as u64;
+        // 1. Drain up to `endpoint_budget` arriving messages into their
+        //    tasks' IQs (head decode: global index -> local offset).  The
+        //    channels are scanned in declaration order, repeatedly, until
+        //    the budget is spent or no channel can make progress; at a
+        //    budget of 1 this is exactly the original single-drain scan.
+        let mut drained = 0usize;
+        if network.delivered_waiting(tile_id) > 0 {
+            'drain: loop {
+                let mut progressed = false;
+                for (channel, decl) in channels.iter().enumerate() {
+                    if drained == endpoint_budget {
+                        break 'drain;
+                    }
+                    let Some(message) = network.peek_delivered_on(tile_id, channel) else {
+                        continue;
+                    };
+                    let dest_task = decl.dest_task;
+                    if !tile.iqs[dest_task].can_push(message.len()) {
+                        // End-point back-pressure: leave it in the ejection
+                        // buffer; upstream routers keep stalling on it.
+                        continue;
+                    }
+                    let message = network
+                        .pop_delivered_on(tile_id, channel)
+                        .expect("peeked message is present");
+                    let mut words = message.into_payload();
+                    words[0] = self.placement.to_local(decl.space, words[0] as usize) as u32;
+                    let pushed = tile.iqs[dest_task].try_push(&words);
+                    debug_assert!(pushed);
+                    // The TSU writes the words into the IQ (scratchpad writes).
+                    tile.counters.sram_writes += words.len() as u64;
+                    tile.counters.messages_received += 1;
+                    drained += 1;
+                    progressed = true;
+                }
+                if !progressed || drained == endpoint_budget {
                     break;
                 }
-                Err(rejected) => {
-                    // The router applied back-pressure: restore the message
-                    // at the head of this CQ and give the *other* channels a
-                    // chance this cycle — a blocked channel must never block
-                    // the rest (that separation is what makes the paper's
-                    // task pipeline deadlock-free).
-                    tile.cqs[channel].push_front_invocation(&rejected.message.into_payload());
+            }
+        }
+
+        // 2. Inject up to `endpoint_budget` messages from the channel
+        //    queues into the network (head encode: global index ->
+        //    destination tile).  A channel the router rejects is parked for
+        //    the rest of this cycle — nothing changes for it until the
+        //    network advances — but a blocked channel must never block the
+        //    rest (that separation is what makes the paper's task pipeline
+        //    deadlock-free).
+        let mut injected = 0usize;
+        let mut rejected_channels: u64 = 0;
+        // The parking mask covers 64 channels; kernels beyond that (none
+        // exist — the paper's use at most 4) fall back to a single pass so
+        // a rejected channel is never re-attempted, keeping the per-tile
+        // rejection counters exact.
+        let multi_pass = channels.len() <= 64;
+        'inject: loop {
+            let mut progressed = false;
+            for (channel, decl) in channels.iter().enumerate() {
+                if injected == endpoint_budget {
+                    break 'inject;
                 }
+                if multi_pass && rejected_channels & (1u64 << (channel as u32 % 64)) != 0 {
+                    continue;
+                }
+                let flits = decl.flits_per_message;
+                if tile.cqs[channel].len() < flits {
+                    continue;
+                }
+                let head = tile.cqs[channel].peek().expect("non-empty CQ");
+                let dest = self.placement.owner(decl.space, head as usize);
+                let words = tile.cqs[channel]
+                    .pop_invocation(flits)
+                    .expect("checked length");
+                match network.try_inject(tile_id, Message::new(dest, channel, words)) {
+                    Ok(()) => {
+                        // Reading the words out of the CQ costs scratchpad
+                        // reads once the router accepts the message.
+                        tile.counters.sram_reads += flits as u64;
+                        injected += 1;
+                        progressed = true;
+                    }
+                    Err(rejected) => {
+                        // The router applied back-pressure: restore the
+                        // message at the head of this CQ and park the
+                        // channel for the rest of the cycle (nothing can
+                        // change for it until the network advances).
+                        tile.cqs[channel].push_front_invocation(&rejected.message.into_payload());
+                        if multi_pass {
+                            rejected_channels |= 1u64 << (channel as u32 % 64);
+                        }
+                    }
+                }
+            }
+            if !progressed || !multi_pass || injected == endpoint_budget {
+                break;
             }
         }
 

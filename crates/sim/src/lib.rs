@@ -17,7 +17,7 @@
 //! * [`queues`] / [`tile`] / [`tsu`] — the per-tile hardware: input/channel
 //!   queues carved from the scratchpad, the distributed dataset chunk, and
 //!   the occupancy-priority task scheduler.
-//! * [`kernel`] — the programming model: the [`Kernel`](kernel::Kernel)
+//! * [`kernel`] — the programming model: the [`kernel::Kernel`]
 //!   trait plus task/channel/array declarations (kernels themselves live in
 //!   the `dalorex-kernels` crate).
 //! * [`engine`] — the cycle-level execution loop coupling tiles with the

@@ -21,6 +21,11 @@ pub struct SimStats {
     pub task_invocations: Vec<u64>,
     /// Messages sent through the network.
     pub messages_sent: u64,
+    /// Messages drained from ejection buffers into task IQs, across all
+    /// tiles.  At quiescence this equals the network's delivered-message
+    /// count — the conservation invariant the property suite checks for
+    /// every endpoint-drain budget.
+    pub messages_received: u64,
     /// Edges processed, as reported by the kernel.
     pub edges_processed: u64,
     /// Aggregate activity counters (input to the energy model).
@@ -46,6 +51,7 @@ impl SimStats {
         self.activity.pu_ops += counters.pu_ops;
         self.activity.pu_busy_cycles += counters.pu_busy_cycles;
         self.messages_sent += counters.messages_sent;
+        self.messages_received += counters.messages_received;
         self.edges_processed += counters.edges_processed;
         if self.task_invocations.len() < counters.task_invocations.len() {
             self.task_invocations
@@ -141,6 +147,7 @@ mod tests {
             task_invocations: vec![3, 1],
             edges_processed: 10,
             messages_sent: 4,
+            messages_received: 3,
         }
     }
 
@@ -160,6 +167,7 @@ mod tests {
         assert_eq!(stats.total_invocations(), 8);
         assert_eq!(stats.edges_processed, 20);
         assert_eq!(stats.messages_sent, 8);
+        assert_eq!(stats.messages_received, 6);
         assert_eq!(stats.per_tile_busy_cycles, vec![50, 150]);
     }
 

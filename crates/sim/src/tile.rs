@@ -4,8 +4,8 @@
 //! A Dalorex tile (paper Fig. 4) is dominated by its scratchpad, which holds
 //! the tile's chunk of every dataset array, the kernel's state arrays, the
 //! task code and the queues.  [`TileCsr`] is the read-only dataset chunk
-//! produced by distributing a [`CsrGraph`](dalorex_graph::CsrGraph) with a
-//! [`Placement`](crate::placement::Placement); [`TileState`] is the mutable
+//! produced by distributing a [`dalorex_graph::CsrGraph`] with a
+//! [`crate::placement::Placement`]; [`TileState`] is the mutable
 //! part (kernel arrays, variables, queues, counters).
 
 use crate::kernel::{ArrayInit, ChannelDecl, LocalArrayDecl, LocalArrayLen, QueueCapacity, TaskDecl};
@@ -95,6 +95,11 @@ pub struct TileCounters {
     pub edges_processed: u64,
     /// Messages sent into the network from this tile.
     pub messages_sent: u64,
+    /// Messages drained from this tile's ejection buffers into task IQs.
+    /// With `endpoint_drains_per_cycle > 1` a tile can receive several per
+    /// cycle; conservation (`received == delivered` network-wide at
+    /// quiescence) is what the property suite checks.
+    pub messages_received: u64,
 }
 
 /// The mutable per-tile state of a running simulation.

@@ -131,6 +131,57 @@ proptest! {
     }
 
     #[test]
+    fn any_endpoint_drain_budget_conserves_messages_and_quiesces(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..60),
+        drains in 1usize..5,
+        torus in proptest::bool::ANY,
+    ) {
+        // For any endpoint_drains_per_cycle >= 1: every injected message is
+        // drained exactly once (conservation) and the network eventually
+        // reaches quiescence under the per-cycle endpoint drain budget.
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let config = NocConfig::new(GridShape::new(4, 4), topology).with_endpoint_drains(drains);
+        prop_assert_eq!(config.endpoint_drains_per_cycle, drains);
+        let mut net = Network::new(config);
+        let mut expected = vec![0u32; 16];
+        let mut pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                expected[dst] += 1;
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let total: u32 = expected.iter().sum();
+        let mut received = vec![0u32; 16];
+        let mut guard = 0;
+        // Endpoint loop: inject with retry, advance, drain at most `drains`
+        // messages per tile per cycle.
+        while !net.quiescent() || !pending.is_empty() {
+            let mut retry = Vec::new();
+            for (src, msg) in pending.drain(..) {
+                if let Err(rejected) = net.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending = retry;
+            net.cycle();
+            for (tile, count) in received.iter_mut().enumerate() {
+                for _ in 0..drains {
+                    let Some(msg) = net.pop_delivered(tile) else { break };
+                    prop_assert_eq!(msg.dest(), tile);
+                    *count += 1;
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 50_000, "network never quiesced under drain budget {}", drains);
+        }
+        prop_assert_eq!(received, expected);
+        prop_assert!(net.quiescent());
+        prop_assert_eq!(net.stats().delivered_messages, u64::from(total));
+        prop_assert_eq!(net.stats().injected_messages, u64::from(total));
+    }
+
+    #[test]
     fn simulated_bfs_and_sssp_match_references_on_arbitrary_graphs(
         graph in arb_graph(150, 3),
         interleaved in proptest::bool::ANY,
