@@ -16,9 +16,15 @@
 //! | `TrafficAware` | occupancy-priority scheduling | Dalorex sim |
 //! | `TorusNoc` | 2D torus instead of 2D mesh | Dalorex sim |
 //! | `Dalorex` | barrierless local frontiers | Dalorex sim |
+//! | `WideEndpoint` | 2 endpoint drains/injections per tile per cycle (beyond the paper) | Dalorex sim, `endpoint_drains_per_cycle = 2` |
 //!
-//! PageRank keeps its barrier on the last rung, as in the paper's Figure 5
-//! caption.
+//! PageRank keeps its barrier on the `Dalorex` rung, as in the paper's
+//! Figure 5 caption.  The final `WideEndpoint` rung goes beyond the paper:
+//! it widens the tile's single local router port to two messages per cycle
+//! (the `endpoint_drains_per_cycle` knob), quantifying how much of the
+//! remaining runtime is endpoint serialization rather than fabric or
+//! compute — the ROADMAP's "endpoint-bound on small grids" observation
+//! expressed as an explicit ladder step.
 
 use crate::tesseract::{TesseractConfig, TesseractModel};
 use crate::workload::Workload;
@@ -46,11 +52,16 @@ pub enum AblationRung {
     TorusNoc,
     /// Full Dalorex: barrierless local frontiers.
     Dalorex,
+    /// Beyond the paper: widens the endpoint to 2 drains/injections per
+    /// tile per cycle (`endpoint_drains_per_cycle = 2`), isolating the
+    /// endpoint-serialization share of the remaining runtime.
+    WideEndpoint,
 }
 
 impl AblationRung {
-    /// All rungs in the paper's order.
-    pub const ALL: [AblationRung; 8] = [
+    /// All rungs, in the paper's order, plus the beyond-paper
+    /// wide-endpoint step.
+    pub const ALL: [AblationRung; 9] = [
         AblationRung::Tesseract,
         AblationRung::TesseractLc,
         AblationRung::DataLocal,
@@ -59,6 +70,7 @@ impl AblationRung {
         AblationRung::TrafficAware,
         AblationRung::TorusNoc,
         AblationRung::Dalorex,
+        AblationRung::WideEndpoint,
     ];
 
     /// The label used in Figure 5's legend.
@@ -72,6 +84,7 @@ impl AblationRung {
             AblationRung::TrafficAware => "Traffic-Aware",
             AblationRung::TorusNoc => "Torus-NoC",
             AblationRung::Dalorex => "Dalorex",
+            AblationRung::WideEndpoint => "Wide-Endpoint",
         }
     }
 
@@ -161,10 +174,12 @@ fn run_dalorex_rung(
     let traffic_aware = rung >= AblationRung::TrafficAware;
     let torus = rung >= AblationRung::TorusNoc;
     let barrierless = rung >= AblationRung::Dalorex && !workload.requires_barrier();
+    let endpoint_drains = if rung >= AblationRung::WideEndpoint { 2 } else { 1 };
 
     let prepared = workload.prepare_graph(graph);
     let config = SimConfigBuilder::new(GridConfig::square(side))
         .scratchpad_bytes(scratchpad_bytes)
+        .endpoint_drains_per_cycle(endpoint_drains)
         .topology(if torus { Topology::Torus } else { Topology::Mesh })
         .scheduling(if traffic_aware {
             SchedulingPolicy::OccupancyPriority
@@ -213,12 +228,33 @@ mod tests {
 
     #[test]
     fn rung_metadata_is_ordered_like_the_paper() {
-        assert_eq!(AblationRung::ALL.len(), 8);
+        assert_eq!(AblationRung::ALL.len(), 9);
         assert_eq!(AblationRung::ALL[0].label(), "Tesseract");
         assert_eq!(AblationRung::ALL[7].label(), "Dalorex");
+        assert_eq!(AblationRung::ALL[8].label(), "Wide-Endpoint");
         assert!(AblationRung::Tesseract < AblationRung::Dalorex);
+        assert!(AblationRung::Dalorex < AblationRung::WideEndpoint);
         assert!(!AblationRung::Tesseract.uses_dalorex_simulator());
         assert!(AblationRung::DataLocal.uses_dalorex_simulator());
+        assert!(AblationRung::WideEndpoint.uses_dalorex_simulator());
+    }
+
+    #[test]
+    fn wide_endpoint_rung_never_loses_badly_to_dalorex() {
+        // The beyond-paper rung widens the endpoint; on the same workload
+        // it helps or roughly ties (message-ordering effects can cost a
+        // few cycles), and it never changes results — the equivalence and
+        // drain-regression suites pin the semantics.
+        let graph = small_graph();
+        let workload = Workload::Sssp { root: 0 };
+        let dalorex = run_rung(AblationRung::Dalorex, &graph, workload, 4, 1 << 20).unwrap();
+        let wide = run_rung(AblationRung::WideEndpoint, &graph, workload, 4, 1 << 20).unwrap();
+        assert!(
+            wide.cycles <= dalorex.cycles + dalorex.cycles / 10,
+            "wide endpoint ({}) far slower than Dalorex ({})",
+            wide.cycles,
+            dalorex.cycles
+        );
     }
 
     #[test]

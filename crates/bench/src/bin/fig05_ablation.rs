@@ -154,5 +154,25 @@ fn main() {
         "325x".to_string(),
         format_factor(geomean(&full_energy_gains)),
     ]);
-    ladder.print("Section V-A: compounded geomean improvement factors");
+    // The beyond-paper Wide-Endpoint rung: how much of full Dalorex's
+    // remaining runtime is endpoint serialization (2 drains/injections per
+    // tile per cycle instead of the paper's single local router port).
+    ladder.push_row(vec![
+        "Wide-Endpoint (beyond paper)".to_string(),
+        "-".to_string(),
+        format_factor(geomean(
+            step_speedups
+                .get(&AblationRung::WideEndpoint)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        )),
+        "-".to_string(),
+        format_factor(geomean(
+            step_energy
+                .get(&AblationRung::WideEndpoint)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        )),
+    ]);
+    ladder.print("Section V-A: compounded geomean improvement factors (plus the beyond-paper wide-endpoint step)");
 }

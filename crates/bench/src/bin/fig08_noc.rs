@@ -4,15 +4,30 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig08_noc [-- --csv]
+//! cargo run -p dalorex-bench --release --bin fig08_noc -- \
+//!     [--csv] [--json <path>] [--drains <a,b,...>]
 //! ```
+//!
+//! Topology only differentiates once the fabric, not the endpoint, is the
+//! bottleneck — at one message per tile per cycle the single local router
+//! port serializes everything and the three topologies converge (the
+//! ROADMAP's "endpoint-bound on small grids" observation).  This figure
+//! therefore defaults to an endpoint budget of **2** drains/injections per
+//! tile per cycle, the smallest value at which the dense runs go
+//! fabric-bound; `--drains` overrides (pass `--drains 1` for the paper's
+//! single-port endpoint).  The drain budget of every row is emitted in the
+//! table and in the `--json` measurements, like fig06/fig07.
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::Table;
+use dalorex_bench::report::{drains_flag_or, write_json_if_requested, Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
+
+/// Default endpoint budget: the smallest at which the topology comparison
+/// runs fabric-bound (see the module docs).
+const FABRIC_BOUND_DRAINS: usize = 2;
 
 fn main() {
     let labels = [
@@ -27,15 +42,18 @@ fn main() {
         Topology::TorusRuche { factor: 4 },
     ];
     let max_side = datasets::max_grid_side();
+    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut table = Table::new(vec![
         "app",
         "dataset",
         "tiles",
+        "drains",
         "topology",
         "cycles",
         "speedup-vs-mesh",
     ]);
+    let mut measurements = Vec::new();
 
     for workload in Workload::full_set() {
         for label in labels {
@@ -48,36 +66,51 @@ fn main() {
             };
             let graph = datasets::build(label);
             let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
-            let mut mesh_cycles: Option<u64> = None;
-            for topology in topologies {
-                let outcome = match run_dalorex(
-                    &graph,
-                    workload,
-                    RunOptions::new(side, scratchpad).with_topology(topology),
-                ) {
-                    Ok(outcome) => outcome,
-                    Err(err) => {
-                        eprintln!(
-                            "skipping {} / {} / {}: {err}",
-                            workload.name(),
-                            label.as_str(),
-                            topology.name()
-                        );
-                        continue;
-                    }
-                };
-                let mesh = *mesh_cycles.get_or_insert(outcome.cycles);
-                table.push_row(vec![
-                    workload.name().to_string(),
-                    label.as_str(),
-                    (side * side).to_string(),
-                    topology.name().to_string(),
-                    outcome.cycles.to_string(),
-                    format!("{:.2}", mesh as f64 / outcome.cycles.max(1) as f64),
-                ]);
+            for &drains in &drains_sweep {
+                let mut mesh_cycles: Option<u64> = None;
+                for topology in topologies {
+                    let options = RunOptions::new(side, scratchpad)
+                        .with_topology(topology)
+                        .with_endpoint_drains(drains);
+                    let outcome = match run_dalorex(&graph, workload, options) {
+                        Ok(outcome) => outcome,
+                        Err(err) => {
+                            eprintln!(
+                                "skipping {} / {} / {} / {drains} drains: {err}",
+                                workload.name(),
+                                label.as_str(),
+                                topology.name()
+                            );
+                            continue;
+                        }
+                    };
+                    let mesh = *mesh_cycles.get_or_insert(outcome.cycles);
+                    let speedup = mesh as f64 / outcome.cycles.max(1) as f64;
+                    table.push_row(vec![
+                        workload.name().to_string(),
+                        label.as_str(),
+                        (side * side).to_string(),
+                        drains.to_string(),
+                        topology.name().to_string(),
+                        outcome.cycles.to_string(),
+                        format!("{speedup:.2}"),
+                    ]);
+                    measurements.push(Measurement {
+                        experiment: "fig8".to_string(),
+                        workload: workload.name().to_string(),
+                        dataset: label.as_str(),
+                        configuration: format!("{} tiles, {}", side * side, topology.name()),
+                        cycles: outcome.cycles,
+                        energy_j: outcome.total_energy_j(),
+                        value: speedup,
+                        endpoint_drains: drains,
+                        rejected_injections: outcome.stats.noc.total_injection_rejections(),
+                    });
+                }
             }
         }
     }
 
-    table.print("Figure 8: Torus and Torus-Ruche performance improvement over Mesh");
+    table.print("Figure 8: Torus and Torus-Ruche performance improvement over Mesh (fabric-bound endpoint budget)");
+    write_json_if_requested(&measurements);
 }

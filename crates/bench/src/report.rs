@@ -232,6 +232,14 @@ pub fn json_output_path() -> Option<String> {
 /// tile).  Invalid or zero entries are dropped with a warning on stderr
 /// so a typo'd sweep never silently measures the wrong configurations.
 pub fn drains_flag() -> Vec<usize> {
+    drains_flag_or(&[1])
+}
+
+/// Like [`drains_flag`], with a caller-chosen default sweep for binaries
+/// whose figure is not measured at the paper's single-port endpoint —
+/// `fig08_noc` defaults to a wider budget so the topology comparison runs
+/// fabric-bound rather than endpoint-bound.
+pub fn drains_flag_or(default: &[usize]) -> Vec<usize> {
     let mut parsed = Vec::new();
     if let Some(list) = flag_value("drains") {
         for entry in list.split(',') {
@@ -242,7 +250,7 @@ pub fn drains_flag() -> Vec<usize> {
         }
     }
     if parsed.is_empty() {
-        vec![1]
+        default.to_vec()
     } else {
         parsed
     }

@@ -68,7 +68,7 @@ pub mod topology;
 mod error;
 
 pub use error::NocError;
-pub use message::Message;
+pub use message::{Message, MAX_FLITS};
 pub use network::Network;
 pub use stats::NocStats;
 pub use topology::{GridShape, Topology};

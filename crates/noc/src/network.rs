@@ -109,6 +109,15 @@ pub struct Network {
     /// [`Network::take_delivery_events`].
     delivery_events: Vec<TileId>,
     delivery_event_pending: Vec<bool>,
+    /// Per-router drain version: bumped whenever a message leaves one of
+    /// the router's buffers (a forward out of an output port, or an
+    /// endpoint draining the ejection buffer).  Injection back-pressure at
+    /// a tile can only clear when space frees in that tile's router, so a
+    /// rejected injection is guaranteed to fail again until this version
+    /// changes — the tile simulator uses that to skip provably futile
+    /// retries.  Kept in a dense side array so polling it does not touch
+    /// the (much larger) router state.
+    drain_versions: Vec<u32>,
 }
 
 impl Network {
@@ -196,8 +205,30 @@ impl Network {
             awaiting_ejection: 0,
             delivery_events: Vec::new(),
             delivery_event_pending: vec![false; num_tiles],
+            drain_versions: vec![0; num_tiles],
             config,
         }
+    }
+
+    /// The drain version of `tile`'s router: a counter that advances every
+    /// time a message leaves one of the router's buffers.  While it is
+    /// unchanged, a previously rejected injection at `tile` would be
+    /// rejected again (buffer space only frees on drains), so endpoints can
+    /// park blocked channels until it moves instead of re-attempting every
+    /// cycle.
+    pub fn buffer_drain_version(&self, tile: TileId) -> u32 {
+        self.drain_versions[tile]
+    }
+
+    /// Records `n` injection back-pressure rejections at `src` without
+    /// performing the attempts.  The tile simulator calls this for parked
+    /// channels whose retry it skipped (the router's drain version proves
+    /// the attempt would have failed), keeping
+    /// [`NocStats::injection_rejections_per_tile`] identical to an engine
+    /// that re-attempts every cycle.
+    pub fn count_injection_backpressure(&mut self, src: TileId, n: u64) {
+        self.stats.injection_backpressure_events += n;
+        self.stats.injection_rejections_per_tile[src] += n;
     }
 
     /// Returns the tiles that received at least one delivery since the last
@@ -268,6 +299,16 @@ impl Network {
     /// of scanning every channel's occupancy each cycle.
     pub fn delivered_waiting(&self, tile: TileId) -> usize {
         self.routers[tile].msgs_at(Port::Local) as usize
+    }
+
+    /// Bitmask of channels with at least one delivered message waiting at
+    /// `tile` (bit `c` set for channel `c`), in O(1).  Exact for networks
+    /// with at most 32 channels (the Dalorex kernels use at most 4);
+    /// conservatively all-ones beyond that, so callers must still tolerate
+    /// an empty channel whose bit is set.  The tile simulator's drain loop
+    /// iterates this mask instead of scanning every channel.
+    pub fn delivered_channel_mask(&self, tile: TileId) -> u32 {
+        self.routers[tile].occupied_channel_mask(Port::Local)
     }
 
     /// Whether a message of `flits` flits could be injected at `src` on
@@ -376,8 +417,7 @@ impl Network {
         let (port, entering) = self.routed_port(src, dest, Dimension::None);
         let bubble = flits;
         if !self.routers[src].can_accept(port, channel, flits, entering, bubble) {
-            self.stats.injection_backpressure_events += 1;
-            self.stats.injection_rejections_per_tile[src] += 1;
+            self.count_injection_backpressure(src, 1);
             return Err(Rejected {
                 error: NocError::InjectionBackpressure,
                 message,
@@ -430,6 +470,7 @@ impl Network {
     pub fn pop_delivered_on(&mut self, tile: TileId, channel: ChannelId) -> Option<Message> {
         let queued = self.routers[tile].pop(Port::Local, channel)?;
         self.awaiting_ejection -= 1;
+        self.drain_versions[tile] = self.drain_versions[tile].wrapping_add(1);
         Some(queued.message)
     }
 
@@ -626,6 +667,7 @@ impl Network {
         let queued = self.routers[tile]
             .pop(port, channel)
             .expect("forwardable message exists");
+        self.drain_versions[tile] = self.drain_versions[tile].wrapping_add(1);
         let serialization = flits as u64;
         self.routers[tile].set_link_busy_until(port, now + serialization);
         self.routers[tile].flits_per_port[port.index()] += flits as u64;

@@ -193,6 +193,20 @@ impl Router {
             || self.occupied_channels[port.index()] & (1u32 << channel as u32) != 0
     }
 
+    /// Bitmask of channels holding at least one message at `port` (bit `c`
+    /// set for channel `c`).  Exact for networks with at most 32 channels;
+    /// conservatively all-ones beyond that, where the mask is not
+    /// maintained.  The tile simulator iterates this for the local port to
+    /// drain only occupied ejection buffers.
+    #[inline]
+    pub(crate) fn occupied_channel_mask(&self, port: Port) -> u32 {
+        if self.channels > 32 {
+            u32::MAX
+        } else {
+            self.occupied_channels[port.index()]
+        }
+    }
+
     /// Messages buffered at every port, including the local (ejection)
     /// port.
     pub(crate) fn buffered_messages(&self) -> usize {

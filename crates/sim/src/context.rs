@@ -118,7 +118,7 @@ impl TaskContext for SimTaskContext<'_> {
     }
 
     fn cq_free(&self, channel: usize) -> usize {
-        self.tile.cqs[channel].free()
+        self.tile.cqs()[channel].free()
     }
 
     fn try_send(&mut self, channel: usize, words: &[u32]) -> bool {
@@ -127,7 +127,7 @@ impl TaskContext for SimTaskContext<'_> {
             self.channels[channel].flits_per_message,
             "message length must match the channel declaration"
         );
-        let accepted = self.tile.cqs[channel].try_push(words);
+        let accepted = self.tile.push_cq(channel, words);
         if accepted {
             // Writing the parameters into the CQ: one scratchpad write per
             // word (the CQ lives in the scratchpad).
@@ -141,11 +141,11 @@ impl TaskContext for SimTaskContext<'_> {
     }
 
     fn iq_free(&self, task: TaskId) -> usize {
-        self.tile.iqs[task].free()
+        self.tile.iqs()[task].free()
     }
 
     fn try_push_local(&mut self, task: TaskId, words: &[u32]) -> bool {
-        let accepted = self.tile.iqs[task].try_push(words);
+        let accepted = self.tile.push_iq(task, words);
         if accepted {
             self.charge_write(words.len() as u64);
         } else {
@@ -156,16 +156,16 @@ impl TaskContext for SimTaskContext<'_> {
 
     fn iq_peek(&mut self) -> Option<u32> {
         self.charge_read(1);
-        self.tile.iqs[self.current_task].peek()
+        self.tile.iqs()[self.current_task].peek()
     }
 
     fn iq_pop(&mut self) -> Option<u32> {
         self.charge_read(1);
-        self.tile.iqs[self.current_task].pop_word()
+        self.tile.pop_iq_word(self.current_task)
     }
 
     fn iq_len(&self) -> usize {
-        self.tile.iqs[self.current_task].len()
+        self.tile.iqs()[self.current_task].len()
     }
 
     fn charge_ops(&mut self, n: u64) {
@@ -225,7 +225,7 @@ impl BootstrapContext for SimBootstrapContext<'_> {
     }
 
     fn push_invocation(&mut self, task: TaskId, words: &[u32]) -> bool {
-        self.tile.iqs[task].try_push(words)
+        self.tile.push_iq(task, words)
     }
 
     fn set_var(&mut self, index: usize, value: u32) {
@@ -277,7 +277,7 @@ impl EpochContext for SimEpochContext<'_> {
     }
 
     fn push_invocation(&mut self, tile: usize, task: TaskId, words: &[u32]) -> bool {
-        let accepted = self.tiles[tile].iqs[task].try_push(words);
+        let accepted = self.tiles[tile].push_iq(task, words);
         if accepted {
             self.woken.push(tile);
         }
@@ -351,8 +351,8 @@ mod tests {
         assert_eq!(tile.counters.pu_ops, 3);
         assert_eq!(tile.counters.edges_processed, 2);
         assert_eq!(tile.counters.messages_sent, 1);
-        assert_eq!(tile.cqs[0].len(), 2);
-        assert_eq!(tile.iqs[1].len(), 2);
+        assert_eq!(tile.cqs()[0].len(), 2);
+        assert_eq!(tile.iqs()[1].len(), 2);
     }
 
     #[test]
@@ -397,7 +397,7 @@ mod tests {
         ctx.write_array(0, 0, 11);
         assert_eq!(ctx.read_array(0, 0), 11);
         assert_eq!(ctx.num_local_vertices(), 4);
-        assert_eq!(tile.iqs[0].len(), 1);
+        assert_eq!(tile.iqs()[0].len(), 1);
         assert_eq!(tile.vars[0], 3);
     }
 

@@ -27,6 +27,20 @@
 //!
 //! Task bodies execute functionally at dispatch and charge their cycle cost
 //! to the PU, which stays busy for that many cycles (`DESIGN.md` §2).
+//!
+//! # Hot path
+//!
+//! The per-cycle tile path is allocation-free end to end, mirroring the
+//! event-driven network overhaul: queues are preallocated ring buffers
+//! ([`crate::queues::WordQueue`]), messages carry their payload inline
+//! (`dalorex_noc::Message`), idle checks read an incrementally maintained
+//! queued-word counter, the drain/inject loops walk channel-occupancy
+//! bitmasks, and the scheduler consults a task-ready bitmask updated at
+//! every queue mutation.  The pre-overhaul tile path is preserved behind
+//! [`Simulation::run_reference`] as a schedule-equivalence oracle (like
+//! `Network::cycle_reference`); the two produce cycle-exact identical
+//! outcomes, and `sim_microbench` measures the speedup of the hot path
+//! against it.
 
 use crate::config::{BarrierMode, SimConfig};
 use crate::context::{InvocationCost, SimBootstrapContext, SimEpochContext, SimTaskContext};
@@ -70,6 +84,71 @@ impl SimOutcome {
     pub fn total_energy_j(&self) -> f64 {
         self.energy.total_j()
     }
+}
+
+/// Compact per-tile snapshot the engine keeps in a dense, cache-resident
+/// array so the hot loop can prove a tile has no possible action this cycle
+/// — no drainable delivery, no injectable message, no dispatchable task —
+/// without touching the tile's (much larger, scattered) [`TileState`] or
+/// its router.  A provably action-free tile's cycle is a no-op, so skipping
+/// it cannot change the schedule; the snapshot is refreshed whenever the
+/// tile actually runs (or is woken by an epoch push), which are the only
+/// points its fields can change.
+#[derive(Debug, Clone, Copy, Default)]
+struct HotTile {
+    /// Mirror of [`TileState::pu_busy_until`].
+    pu_busy_until: u64,
+    /// Whether any IQ or CQ holds words (mirror of `queued_words > 0`).
+    queued: bool,
+    /// Whether any task is dispatch-eligible (conservatively `true` when
+    /// the tile's masks are not maintained).
+    task_ready: bool,
+    /// Whether any CQ holds a full message (conservatively `true` when the
+    /// masks are not maintained).
+    cq_ready: bool,
+    /// Whether the network delivered messages this tile has not drained
+    /// yet (set by delivery events, refreshed after each drain).
+    delivery_pending: bool,
+}
+
+impl HotTile {
+    fn snapshot(tile: &TileState, delivery_pending: bool) -> Self {
+        let exact = tile.masks_exact();
+        HotTile {
+            pu_busy_until: tile.pu_busy_until,
+            queued: tile.queued_words() > 0,
+            task_ready: !exact || tile.task_ready_mask() != 0,
+            cq_ready: !exact || tile.cq_ready_mask() != 0,
+            delivery_pending,
+        }
+    }
+
+    /// Whether the tile will still be non-idle at `cycle + 1` without
+    /// running (used when its cycle is skipped as a no-op).
+    fn nonidle_after(&self, cycle: u64) -> bool {
+        self.queued || self.pu_busy_until > cycle + 1
+    }
+}
+
+/// Per-tile injection parking state (fast path only).  A channel whose
+/// injection the router rejected stays parked until the router's drain
+/// version moves — until then every retry is guaranteed to fail
+/// identically, so the engine skips the attempt and only accounts the
+/// rejection the reference engine would have recorded.
+#[derive(Debug, Clone, Copy, Default)]
+struct InjectPark {
+    /// Channels currently parked on back-pressure.
+    mask: u64,
+    /// The router drain version every parked channel was rejected at (the
+    /// whole mask is cleared whenever the version moves, so one version
+    /// covers all parked channels).
+    version: u32,
+    /// Number of parked channels holding a full message — the rejections
+    /// per cycle a fully parked tile accrues while skipped.
+    ready_count: u32,
+    /// Whether every inject-ready channel is parked (the tile's inject
+    /// step is then a pure stall until the drain version moves).
+    all_ready_parked: bool,
 }
 
 /// A configured Dalorex simulation, ready to run kernels over one dataset.
@@ -157,6 +236,11 @@ impl Simulation {
 
     /// Runs `kernel` to completion and returns the outcome.
     ///
+    /// This drives the allocation-free tile path: ring-buffer queue reads,
+    /// inline message payloads, O(1) idle checks and the incrementally
+    /// maintained readiness masks.  The schedule is cycle-exact identical
+    /// to [`Simulation::run_reference`].
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for inconsistent kernel
@@ -165,6 +249,31 @@ impl Simulation {
     /// [`SimError::UnknownKernelResource`] if the kernel's declared output
     /// arrays do not exist.
     pub fn run(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
+        self.run_with(kernel, false)
+    }
+
+    /// Runs `kernel` on the preserved pre-overhaul tile path — the
+    /// schedule-equivalence oracle, in the mould of
+    /// `Network::cycle_reference`.
+    ///
+    /// The reference path keeps the original cost profile of the per-cycle
+    /// TSU loop: every queue pop allocates a `Vec`, delivered payloads are
+    /// copied to the heap before the head decode, the drain/inject loops
+    /// scan every channel, the scheduler re-probes every task's queues
+    /// ([`crate::tsu::Scheduler::pick_reference`]), and the idle check
+    /// rescans all queues ([`crate::tile::TileState::is_idle_scan`]).  Both
+    /// paths share the event-driven `Network::cycle`, so comparing the two
+    /// isolates the tile-side overhaul; equivalence tests assert the
+    /// outcomes are identical, and `sim_microbench` measures the speedup.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_reference(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
+        self.run_with(kernel, true)
+    }
+
+    fn run_with(&self, kernel: &dyn Kernel, reference: bool) -> Result<SimOutcome, SimError> {
         let tasks = kernel.tasks();
         let channels = kernel.channels();
         let arrays = kernel.arrays();
@@ -206,6 +315,14 @@ impl Simulation {
             .collect();
 
         let barrier_mode = self.config.barrier_mode == BarrierMode::EpochBarrier;
+        // Dense action snapshots for the fast path's no-op skip (see
+        // `HotTile`); the reference path ignores them, preserving its
+        // pre-overhaul cost profile.
+        let mut hot: Vec<HotTile> = tiles
+            .iter()
+            .map(|t| HotTile::snapshot(t, false))
+            .collect();
+        let mut parks: Vec<InjectPark> = vec![InjectPark::default(); num_tiles];
         let mut active: Vec<bool> = tiles.iter().map(|t| !t.is_idle(0)).collect();
         let mut active_list: Vec<usize> =
             (0..num_tiles).filter(|&t| active[t]).collect();
@@ -235,6 +352,10 @@ impl Simulation {
                         epochs += 1;
                         cycle += self.config.epoch_broadcast_cycles;
                         for tile in woken {
+                            // The epoch trigger pushed invocations outside
+                            // tile_cycle: refresh the action snapshot.
+                            hot[tile] =
+                                HotTile::snapshot(&tiles[tile], hot[tile].delivery_pending);
                             if !active[tile] {
                                 active[tile] = true;
                                 active_list.push(tile);
@@ -262,6 +383,7 @@ impl Simulation {
             delivery_events.clear();
             network.drain_delivery_events_into(&mut delivery_events);
             for &tile in &delivery_events {
+                hot[tile].delivery_pending = true;
                 if !active[tile] {
                     active[tile] = true;
                     active_list.push(tile);
@@ -274,6 +396,52 @@ impl Simulation {
             std::mem::swap(&mut active_list, &mut active_scratch);
             for &t in &active_scratch {
                 active[t] = false;
+                if reference {
+                    self.tile_cycle_reference(
+                        kernel,
+                        &tasks,
+                        &channels,
+                        &mut tiles[t],
+                        &mut schedulers[t],
+                        &mut network,
+                        barrier_mode,
+                        cycle,
+                        &mut total_dispatches,
+                    );
+                    if !tiles[t].is_idle_scan(cycle + 1) || network.delivered_waiting(t) > 0 {
+                        active[t] = true;
+                        active_list.push(t);
+                    }
+                    continue;
+                }
+                // No-op skip: when the dense snapshots prove the tile can
+                // neither drain, dispatch nor make an injection attempt
+                // that is not already known to fail, running `tile_cycle`
+                // would change nothing but the rejection statistics — keep
+                // (or drop) the tile without touching its state or its
+                // router, and account those statistics directly.  Skipped
+                // tiles keep their position in the active list, so the
+                // service order of *acting* tiles — and with it the
+                // schedule — is exactly the reference's.
+                let h = hot[t];
+                let dispatchable = h.pu_busy_until <= cycle && h.task_ready;
+                let inject_live = h.cq_ready
+                    && (!parks[t].all_ready_parked
+                        || network.buffer_drain_version(t) != parks[t].version);
+                if !h.delivery_pending && !dispatchable && !inject_live {
+                    if h.cq_ready {
+                        // Every inject-ready channel is parked: the
+                        // reference engine would attempt and fail each one
+                        // once this cycle.
+                        network
+                            .count_injection_backpressure(t, u64::from(parks[t].ready_count));
+                    }
+                    if h.nonidle_after(cycle) {
+                        active[t] = true;
+                        active_list.push(t);
+                    }
+                    continue;
+                }
                 self.tile_cycle(
                     kernel,
                     &tasks,
@@ -281,11 +449,15 @@ impl Simulation {
                     &mut tiles[t],
                     &mut schedulers[t],
                     &mut network,
+                    &mut parks[t],
+                    h.delivery_pending,
                     barrier_mode,
                     cycle,
                     &mut total_dispatches,
                 );
-                if !tiles[t].is_idle(cycle + 1) || network.delivered_waiting(t) > 0 {
+                let leftover_deliveries = network.delivered_waiting(t) > 0;
+                hot[t] = HotTile::snapshot(&tiles[t], leftover_deliveries);
+                if !tiles[t].is_idle(cycle + 1) || leftover_deliveries {
                     active[t] = true;
                     active_list.push(t);
                 }
@@ -308,7 +480,7 @@ impl Simulation {
             } else if cycle - last_progress_cycle > self.config.watchdog_cycles {
                 let queued: u64 = tiles
                     .iter()
-                    .map(|t| t.iqs.iter().map(|q| q.len() as u64).sum::<u64>())
+                    .map(|t| t.iqs().iter().map(|q| q.len() as u64).sum::<u64>())
                     .sum();
                 return Err(SimError::Deadlock {
                     cycle,
@@ -357,9 +529,260 @@ impl Simulation {
         })
     }
 
-    /// One TSU + PU cycle on one tile.
+    /// One TSU + PU cycle on one tile — the allocation-free hot path.
+    ///
+    /// The drain loop walks the network's delivered-channel bitmask instead
+    /// of scanning every channel, rewrites the head flit in the message's
+    /// inline payload (no heap copy), and pushes the payload slice straight
+    /// into the destination IQ.  The inject loop walks the tile's
+    /// channel-ready bitmask and pops each message into a stack buffer.
+    /// The dispatch step consults the incrementally maintained task-ready
+    /// mask through [`Scheduler::pick`] and auto-pops parameters into a
+    /// stack buffer.  Every decision is bit-identical to
+    /// [`Simulation::tile_cycle_reference`]; kernels whose declarations
+    /// exceed the mask widths (more than 32 channels for the drain mask, 64
+    /// for the inject mask) fall back to the reference loops.
     #[allow(clippy::too_many_arguments)]
     fn tile_cycle(
+        &self,
+        kernel: &dyn Kernel,
+        tasks: &[TaskDecl],
+        channels: &[ChannelDecl],
+        tile: &mut TileState,
+        scheduler: &mut Scheduler,
+        network: &mut Network,
+        park: &mut InjectPark,
+        delivery_pending: bool,
+        barrier_mode: bool,
+        cycle: u64,
+        total_dispatches: &mut u64,
+    ) {
+        let tile_id = tile.tile;
+        let endpoint_budget = self.config.endpoint_drains_per_cycle;
+        let masked = tile.masks_exact() && channels.len() <= 32;
+        if !masked {
+            // Declarations beyond the mask widths: keep the exact reference
+            // behaviour (no real kernel reaches this — the paper's declare
+            // at most four tasks and channels).
+            self.tile_cycle_reference(
+                kernel,
+                tasks,
+                channels,
+                tile,
+                scheduler,
+                network,
+                barrier_mode,
+                cycle,
+                total_dispatches,
+            );
+            return;
+        }
+
+        // 1. Drain up to `endpoint_budget` arriving messages into their
+        //    tasks' IQs (head decode: global index -> local offset).  The
+        //    occupied channels are visited in declaration order (ascending
+        //    bits), repeatedly, until the budget is spent or no channel can
+        //    make progress; at a budget of 1 this is exactly the original
+        //    single-drain scan.  The caller's dense delivery flag replaces
+        //    the router poll that gated the reference drain.
+        let mut drained = 0usize;
+        debug_assert_eq!(delivery_pending, network.delivered_waiting(tile_id) > 0);
+        if delivery_pending {
+            'drain: loop {
+                let mut progressed = false;
+                let mut mask = network.delivered_channel_mask(tile_id);
+                while mask != 0 {
+                    let channel = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    if drained == endpoint_budget {
+                        break 'drain;
+                    }
+                    let decl = &channels[channel];
+                    let Some(message) = network.peek_delivered_on(tile_id, channel) else {
+                        continue;
+                    };
+                    if !tile.iqs()[decl.dest_task].can_push(message.len()) {
+                        // End-point back-pressure: leave it in the ejection
+                        // buffer; upstream routers keep stalling on it.
+                        continue;
+                    }
+                    let mut message = network
+                        .pop_delivered_on(tile_id, channel)
+                        .expect("peeked message is present");
+                    let words = message.payload_mut();
+                    words[0] = self.placement.to_local(decl.space, words[0] as usize) as u32;
+                    let pushed = tile.push_iq(decl.dest_task, message.payload());
+                    debug_assert!(pushed);
+                    // The TSU writes the words into the IQ (scratchpad writes).
+                    tile.counters.sram_writes += message.len() as u64;
+                    tile.counters.messages_received += 1;
+                    drained += 1;
+                    progressed = true;
+                }
+                if !progressed || drained == endpoint_budget {
+                    break;
+                }
+            }
+        }
+
+        // 2. Inject up to `endpoint_budget` messages from the channel
+        //    queues into the network (head encode: global index ->
+        //    destination tile).  A channel the router rejects is parked —
+        //    not just for the rest of this cycle, but until the router's
+        //    drain version moves: until then the retry is guaranteed to
+        //    fail identically, so only the rejection is accounted (keeping
+        //    the statistics bit-identical to the re-attempting reference).
+        //    A blocked channel must never block the rest — that separation
+        //    is what makes the paper's task pipeline deadlock-free.
+        let drain_version = network.buffer_drain_version(tile_id);
+        if park.mask != 0 && drain_version != park.version {
+            // Space freed somewhere in the router since the rejections:
+            // every parked channel retries for real.
+            park.mask = 0;
+        }
+        let prev_parked = park.mask;
+        let mut injected = 0usize;
+        let mut parked = prev_parked;
+        // Successes of the first pass, by channel: what decides how far the
+        // reference's first pass gets before exhausting the budget.
+        let mut pass1_successes: u64 = 0;
+        let mut first_pass = true;
+        'inject: loop {
+            let mut progressed = false;
+            let mut mask = tile.cq_ready_mask() & !parked;
+            while mask != 0 {
+                let channel = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if injected == endpoint_budget {
+                    break 'inject;
+                }
+                let decl = &channels[channel];
+                let flits = decl.flits_per_message;
+                debug_assert!(tile.cqs()[channel].len() >= flits);
+                let head = tile.cqs()[channel].peek().expect("non-empty CQ");
+                let dest = self.placement.owner(decl.space, head as usize);
+                let mut flit_buf = [0u32; dalorex_noc::MAX_FLITS];
+                let popped = tile.pop_cq_into(channel, flits, &mut flit_buf);
+                debug_assert!(popped);
+                match network.try_inject(tile_id, Message::new(dest, channel, &flit_buf[..flits]))
+                {
+                    Ok(()) => {
+                        // Reading the words out of the CQ costs scratchpad
+                        // reads once the router accepts the message.
+                        tile.counters.sram_reads += flits as u64;
+                        if first_pass {
+                            pass1_successes |= 1u64 << channel;
+                        }
+                        injected += 1;
+                        progressed = true;
+                    }
+                    Err(rejected) => {
+                        // The router applied back-pressure: restore the
+                        // message at the head of this CQ and park the
+                        // channel until the router drains something.
+                        tile.restore_cq_front(channel, rejected.message.payload());
+                        parked |= 1u64 << channel;
+                    }
+                }
+            }
+            if !progressed || injected == endpoint_budget {
+                break;
+            }
+            first_pass = false;
+        }
+        // Channels that stayed parked from earlier cycles were each due one
+        // failed attempt this cycle (the reference re-attempts every parked
+        // channel once per cycle); the skipped attempts are guaranteed
+        // rejections, so account them — unless the reference's first pass
+        // would have exhausted its budget before reaching the channel, in
+        // which case it would not have attempted it either.  Failures
+        // consume no budget, so the break point is set by the successful
+        // injections on lower-numbered channels alone.
+        if prev_parked != 0 {
+            let mut owed = 0u64;
+            let mut pending = prev_parked;
+            while pending != 0 {
+                let channel = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let successes_before =
+                    (pass1_successes & ((1u64 << channel) - 1)).count_ones() as usize;
+                if successes_before < endpoint_budget {
+                    owed += 1;
+                }
+            }
+            if owed > 0 {
+                network.count_injection_backpressure(tile_id, owed);
+            }
+        }
+        park.version = drain_version;
+        park.mask = parked;
+
+        // 3. Dispatch a task to the PU if it is free.
+        'dispatch: {
+            if tile.pu_busy_until > cycle {
+                break 'dispatch;
+            }
+            let Some(task) = scheduler.pick(tile, tasks) else {
+                break 'dispatch;
+            };
+            // Auto-popped parameters land in a stack buffer; the heap
+            // fallback only exists for hypothetical kernels auto-popping
+            // more than 16 words per invocation.
+            let mut param_buf = [0u32; 16];
+            let param_spill: Vec<u32>;
+            let params: &[u32] = match tasks[task].params {
+                TaskParams::AutoPop(n) if n <= param_buf.len() => {
+                    let popped = tile.pop_iq_into(task, n, &mut param_buf);
+                    debug_assert!(popped, "eligibility guarantees parameters");
+                    // TSU pre-loads the parameters: scratchpad reads.
+                    tile.counters.sram_reads += n as u64;
+                    &param_buf[..n]
+                }
+                TaskParams::AutoPop(n) => {
+                    param_spill = tile
+                        .pop_iq_invocation(task, n)
+                        .expect("eligibility guarantees parameters");
+                    tile.counters.sram_reads += n as u64;
+                    &param_spill
+                }
+                TaskParams::SelfManaged => &[],
+            };
+            let mut ctx = SimTaskContext {
+                csr: &self.csr[tile_id],
+                placement: &self.placement,
+                channels,
+                current_task: task,
+                barrier_mode,
+                cost: InvocationCost { cycles: 1 }, // dispatch overhead
+                tile,
+            };
+            kernel.execute(task, params, &mut ctx);
+            let cost = (ctx.cost.cycles + self.config.invocation_overhead_cycles).max(1);
+            tile.counters.task_invocations[task] += 1;
+            tile.counters.pu_busy_cycles += cost;
+            tile.pu_busy_until = cycle + cost;
+            *total_dispatches += 1;
+        }
+
+        // Persist the ready-dependent parking summary only after the
+        // dispatched task had its chance to produce new messages: a fresh
+        // full CQ must clear `all_ready_parked` so the no-op skip cannot
+        // swallow its injection.
+        let ready = tile.cq_ready_mask();
+        park.ready_count = (park.mask & ready).count_ones();
+        park.all_ready_parked = ready != 0 && ready & !park.mask == 0;
+    }
+
+    /// One TSU + PU cycle on one tile — the preserved pre-overhaul path.
+    ///
+    /// Kept verbatim in shape and cost profile (full channel scans, `Vec`
+    /// per popped invocation, heap copy per drained payload, full-rescan
+    /// scheduling) as the oracle [`Simulation::run_reference`] drives; see
+    /// that method's docs.  Both paths mutate the tile exclusively through
+    /// the counter-maintaining [`TileState`] methods, so they cannot drift
+    /// in behaviour — only in cost.
+    #[allow(clippy::too_many_arguments)]
+    fn tile_cycle_reference(
         &self,
         kernel: &dyn Kernel,
         tasks: &[TaskDecl],
@@ -374,11 +797,7 @@ impl Simulation {
         let tile_id = tile.tile;
         let endpoint_budget = self.config.endpoint_drains_per_cycle;
 
-        // 1. Drain up to `endpoint_budget` arriving messages into their
-        //    tasks' IQs (head decode: global index -> local offset).  The
-        //    channels are scanned in declaration order, repeatedly, until
-        //    the budget is spent or no channel can make progress; at a
-        //    budget of 1 this is exactly the original single-drain scan.
+        // 1. Drain: scan the channels in declaration order, repeatedly.
         let mut drained = 0usize;
         if network.delivered_waiting(tile_id) > 0 {
             'drain: loop {
@@ -391,9 +810,7 @@ impl Simulation {
                         continue;
                     };
                     let dest_task = decl.dest_task;
-                    if !tile.iqs[dest_task].can_push(message.len()) {
-                        // End-point back-pressure: leave it in the ejection
-                        // buffer; upstream routers keep stalling on it.
+                    if !tile.iqs()[dest_task].can_push(message.len()) {
                         continue;
                     }
                     let message = network
@@ -401,9 +818,8 @@ impl Simulation {
                         .expect("peeked message is present");
                     let mut words = message.into_payload();
                     words[0] = self.placement.to_local(decl.space, words[0] as usize) as u32;
-                    let pushed = tile.iqs[dest_task].try_push(&words);
+                    let pushed = tile.push_iq(dest_task, &words);
                     debug_assert!(pushed);
-                    // The TSU writes the words into the IQ (scratchpad writes).
                     tile.counters.sram_writes += words.len() as u64;
                     tile.counters.messages_received += 1;
                     drained += 1;
@@ -415,19 +831,12 @@ impl Simulation {
             }
         }
 
-        // 2. Inject up to `endpoint_budget` messages from the channel
-        //    queues into the network (head encode: global index ->
-        //    destination tile).  A channel the router rejects is parked for
-        //    the rest of this cycle — nothing changes for it until the
-        //    network advances — but a blocked channel must never block the
-        //    rest (that separation is what makes the paper's task pipeline
-        //    deadlock-free).
+        // 2. Inject: scan the channels in declaration order, parking
+        //    rejected ones.  Kernels with more than 64 channels fall back
+        //    to a single pass so a rejected channel is never re-attempted,
+        //    keeping the per-tile rejection counters exact.
         let mut injected = 0usize;
         let mut rejected_channels: u64 = 0;
-        // The parking mask covers 64 channels; kernels beyond that (none
-        // exist — the paper's use at most 4) fall back to a single pass so
-        // a rejected channel is never re-attempted, keeping the per-tile
-        // rejection counters exact.
         let multi_pass = channels.len() <= 64;
         'inject: loop {
             let mut progressed = false;
@@ -439,28 +848,22 @@ impl Simulation {
                     continue;
                 }
                 let flits = decl.flits_per_message;
-                if tile.cqs[channel].len() < flits {
+                if tile.cqs()[channel].len() < flits {
                     continue;
                 }
-                let head = tile.cqs[channel].peek().expect("non-empty CQ");
+                let head = tile.cqs()[channel].peek().expect("non-empty CQ");
                 let dest = self.placement.owner(decl.space, head as usize);
-                let words = tile.cqs[channel]
-                    .pop_invocation(flits)
+                let words = tile
+                    .pop_cq_invocation(channel, flits)
                     .expect("checked length");
                 match network.try_inject(tile_id, Message::new(dest, channel, words)) {
                     Ok(()) => {
-                        // Reading the words out of the CQ costs scratchpad
-                        // reads once the router accepts the message.
                         tile.counters.sram_reads += flits as u64;
                         injected += 1;
                         progressed = true;
                     }
                     Err(rejected) => {
-                        // The router applied back-pressure: restore the
-                        // message at the head of this CQ and park the
-                        // channel for the rest of the cycle (nothing can
-                        // change for it until the network advances).
-                        tile.cqs[channel].push_front_invocation(&rejected.message.into_payload());
+                        tile.restore_cq_front(channel, &rejected.message.into_payload());
                         if multi_pass {
                             rejected_channels |= 1u64 << (channel as u32 % 64);
                         }
@@ -476,15 +879,14 @@ impl Simulation {
         if tile.pu_busy_until > cycle {
             return;
         }
-        let Some(task) = scheduler.pick(tile, tasks) else {
+        let Some(task) = scheduler.pick_reference(tile, tasks) else {
             return;
         };
         let params = match tasks[task].params {
             TaskParams::AutoPop(n) => {
-                let popped = tile.iqs[task]
-                    .pop_invocation(n)
+                let popped = tile
+                    .pop_iq_invocation(task, n)
                     .expect("eligibility guarantees parameters");
-                // TSU pre-loads the parameters: scratchpad reads.
                 tile.counters.sram_reads += n as u64;
                 popped
             }
@@ -582,6 +984,14 @@ fn validate_kernel(
             return reject(format!(
                 "channel {i} ({}) messages do not fit the ejection buffer",
                 channel.name
+            ));
+        }
+        if channel.flits_per_message > dalorex_noc::MAX_FLITS {
+            return reject(format!(
+                "channel {i} ({}) messages exceed the network's inline payload \
+                 capacity of {} flits",
+                channel.name,
+                dalorex_noc::MAX_FLITS
             ));
         }
         if channel.cq_capacity_words < channel.flits_per_message {

@@ -9,24 +9,40 @@
 //! Capacities here are expressed in 32-bit words (queue entries), matching
 //! the paper's "a queue entry can be either 32 or 64 bits" with the 32-bit
 //! choice used throughout the evaluation.
+//!
+//! # Hot-path layout
+//!
+//! [`WordQueue`] is the storage behind every per-cycle TSU operation, so it
+//! is exactly what the paper describes in hardware: a preallocated circular
+//! buffer with head/length registers.  Pushes, pops and the speculative
+//! head restore move words within that fixed allocation — the steady-state
+//! tile path ([`crate::engine`]) performs no heap allocation.  The
+//! allocation-free readers are [`WordQueue::pop_invocation_into`] and
+//! [`WordQueue::head_slices`]; the `Vec`-returning
+//! [`WordQueue::pop_invocation`] is kept for the preserved reference tile
+//! path and for tests.
 
-use std::collections::VecDeque;
-
-/// A bounded FIFO of 32-bit words holding whole task invocations.
+/// A bounded circular FIFO of 32-bit words holding whole task invocations.
 ///
 /// One invocation is `params_per_invocation` consecutive words. The queue
 /// accepts an invocation only if all of its words fit, which is how the TSU
 /// guarantees a task can run to completion once dispatched.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct WordQueue {
-    words: VecDeque<u32>,
-    capacity_words: usize,
+    /// The preallocated ring storage; logical content starts at `head` and
+    /// wraps around.
+    words: Box<[u32]>,
+    /// Index of the logical front word.
+    head: usize,
+    /// Number of words currently queued.
+    len: usize,
     /// High-water mark, for statistics.
     max_occupancy: usize,
 }
 
 impl WordQueue {
-    /// Creates a queue with the given capacity in 32-bit words.
+    /// Creates a queue with the given capacity in 32-bit words.  The ring
+    /// storage is allocated once, here; no later operation allocates.
     ///
     /// # Panics
     ///
@@ -34,35 +50,52 @@ impl WordQueue {
     pub fn new(capacity_words: usize) -> Self {
         assert!(capacity_words > 0, "queue capacity must be non-zero");
         WordQueue {
-            words: VecDeque::new(),
-            capacity_words,
+            words: vec![0; capacity_words].into_boxed_slice(),
+            head: 0,
+            len: 0,
             max_occupancy: 0,
         }
     }
 
     /// Capacity in words.
     pub fn capacity(&self) -> usize {
-        self.capacity_words
+        self.words.len()
     }
 
     /// Current occupancy in words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// Whether the queue holds no words.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
     }
 
     /// Free space in words.
     pub fn free(&self) -> usize {
-        self.capacity_words - self.words.len()
+        self.words.len() - self.len
     }
 
     /// Occupancy as a fraction of capacity, in `[0, 1]`.
     pub fn occupancy_fraction(&self) -> f64 {
-        self.words.len() as f64 / self.capacity_words as f64
+        self.len as f64 / self.words.len() as f64
+    }
+
+    /// Whether the queue is at or above three quarters of its capacity —
+    /// the paper's *high priority* trigger
+    /// ([`crate::tsu::HIGH_PRIORITY_IQ_FRACTION`]), computed in exact
+    /// integer arithmetic so the scheduler never depends on float rounding.
+    pub fn at_least_three_quarters_full(&self) -> bool {
+        4 * self.len >= 3 * self.words.len()
+    }
+
+    /// Whether the queue is at or below one quarter of its capacity — the
+    /// paper's *medium priority* trigger
+    /// ([`crate::tsu::MEDIUM_PRIORITY_OQ_FRACTION`]), computed in exact
+    /// integer arithmetic.
+    pub fn at_most_one_quarter_full(&self) -> bool {
+        4 * self.len <= self.words.len()
     }
 
     /// Highest occupancy observed so far, in words.
@@ -75,36 +108,105 @@ impl WordQueue {
         words <= self.free()
     }
 
+    #[inline]
+    fn wrap(&self, index: usize) -> usize {
+        let capacity = self.words.len();
+        if index >= capacity {
+            index - capacity
+        } else {
+            index
+        }
+    }
+
     /// Pushes an invocation; returns `false` (leaving the queue unchanged)
     /// if it does not fit.
     pub fn try_push(&mut self, invocation: &[u32]) -> bool {
         if !self.can_push(invocation.len()) {
             return false;
         }
-        self.words.extend(invocation.iter().copied());
-        self.max_occupancy = self.max_occupancy.max(self.words.len());
+        let mut tail = self.wrap(self.head + self.len);
+        for &word in invocation {
+            self.words[tail] = word;
+            tail = self.wrap(tail + 1);
+        }
+        self.len += invocation.len();
+        self.max_occupancy = self.max_occupancy.max(self.len);
         true
     }
 
     /// Reads the word at the head without consuming it (the paper's `peek`
     /// used by task T1).
     pub fn peek(&self) -> Option<u32> {
-        self.words.front().copied()
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.words[self.head])
+        }
     }
 
     /// Pops a single word from the head.
     pub fn pop_word(&mut self) -> Option<u32> {
-        self.words.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let word = self.words[self.head];
+        self.head = self.wrap(self.head + 1);
+        self.len -= 1;
+        Some(word)
+    }
+
+    /// The first `count` queued words as (at most) two contiguous slices —
+    /// the ring seam splits them.  This is the allocation-free way to *read*
+    /// an invocation without consuming it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` words are queued.
+    pub fn head_slices(&self, count: usize) -> (&[u32], &[u32]) {
+        assert!(count <= self.len, "not enough queued words");
+        let capacity = self.words.len();
+        let first = count.min(capacity - self.head);
+        (
+            &self.words[self.head..self.head + first],
+            &self.words[..count - first],
+        )
+    }
+
+    /// Pops `count` words from the head into `out[..count]` as one
+    /// invocation's parameters, without allocating.  Returns `false`
+    /// (leaving the queue and `out` unchanged) if fewer than `count` words
+    /// are queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `count`.
+    pub fn pop_invocation_into(&mut self, count: usize, out: &mut [u32]) -> bool {
+        if self.len < count {
+            return false;
+        }
+        let (a, b) = self.head_slices(count);
+        out[..a.len()].copy_from_slice(a);
+        out[a.len()..count].copy_from_slice(b);
+        self.head = self.wrap(self.head + count);
+        self.len -= count;
+        true
     }
 
     /// Pops `count` words from the head as one invocation's parameters.
     /// Returns `None` (leaving the queue unchanged) if fewer than `count`
     /// words are queued.
+    ///
+    /// Allocates the returned `Vec`; the engine's hot path uses
+    /// [`WordQueue::pop_invocation_into`] instead, and this form remains for
+    /// the preserved reference tile path and for tests.
     pub fn pop_invocation(&mut self, count: usize) -> Option<Vec<u32>> {
-        if self.words.len() < count {
+        if self.len < count {
             return None;
         }
-        Some(self.words.drain(..count).collect())
+        let mut out = vec![0u32; count];
+        let popped = self.pop_invocation_into(count, &mut out);
+        debug_assert!(popped);
+        Some(out)
     }
 
     /// Re-inserts words at the head of the queue, preserving their order.
@@ -119,12 +221,39 @@ impl WordQueue {
             self.can_push(words.len()),
             "cannot restore words into a full queue"
         );
-        for &word in words.iter().rev() {
-            self.words.push_front(word);
+        let capacity = self.words.len();
+        // Move the head back by `words.len()` (mod capacity) and write the
+        // restored words in order from the new head.
+        self.head = self.wrap(self.head + capacity - (words.len() % capacity));
+        let mut at = self.head;
+        for &word in words {
+            self.words[at] = word;
+            at = self.wrap(at + 1);
         }
-        self.max_occupancy = self.max_occupancy.max(self.words.len());
+        self.len += words.len();
+        self.max_occupancy = self.max_occupancy.max(self.len);
+    }
+
+    /// Iterates the queued words front to back (a test/debug convenience;
+    /// the hot path uses [`WordQueue::head_slices`]).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (a, b) = self.head_slices(self.len);
+        a.iter().chain(b.iter()).copied()
     }
 }
+
+/// Equality compares the logical contents (front to back), the capacity and
+/// the high-water mark — not the physical head position within the ring.
+impl PartialEq for WordQueue {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity() == other.capacity()
+            && self.max_occupancy == other.max_occupancy
+            && self.len == other.len
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for WordQueue {}
 
 #[cfg(test)]
 mod tests {
@@ -161,6 +290,37 @@ mod tests {
     }
 
     #[test]
+    fn pop_invocation_into_is_allocation_free_and_exact() {
+        let mut q = WordQueue::new(4);
+        q.try_push(&[1, 2, 3]);
+        let mut buf = [0u32; 4];
+        assert!(!q.pop_invocation_into(4, &mut buf));
+        assert_eq!(q.len(), 3);
+        assert!(q.pop_invocation_into(2, &mut buf));
+        assert_eq!(&buf[..2], &[1, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_word(), Some(3));
+    }
+
+    #[test]
+    fn ring_wraps_across_the_seam() {
+        let mut q = WordQueue::new(4);
+        // Advance the head so subsequent pushes wrap around the seam.
+        q.try_push(&[1, 2, 3]);
+        q.pop_word();
+        q.pop_word();
+        assert!(q.try_push(&[4, 5, 6]));
+        assert_eq!(q.len(), 4);
+        let (a, b) = q.head_slices(4);
+        let logical: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(logical, vec![3, 4, 5, 6]);
+        let mut buf = [0u32; 4];
+        assert!(q.pop_invocation_into(4, &mut buf));
+        assert_eq!(buf, [3, 4, 5, 6]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn occupancy_statistics() {
         let mut q = WordQueue::new(10);
         q.try_push(&[1, 2, 3, 4]);
@@ -172,6 +332,26 @@ mod tests {
     }
 
     #[test]
+    fn integer_priority_thresholds_match_the_fractions() {
+        for capacity in 1usize..70 {
+            let mut q = WordQueue::new(capacity);
+            for len in 0..=capacity {
+                assert_eq!(
+                    q.at_least_three_quarters_full(),
+                    q.occupancy_fraction() >= crate::tsu::HIGH_PRIORITY_IQ_FRACTION,
+                    "capacity {capacity}, len {len}"
+                );
+                assert_eq!(
+                    q.at_most_one_quarter_full(),
+                    q.occupancy_fraction() <= crate::tsu::MEDIUM_PRIORITY_OQ_FRACTION,
+                    "capacity {capacity}, len {len}"
+                );
+                q.try_push(&[len as u32]);
+            }
+        }
+    }
+
+    #[test]
     fn push_front_restores_order_after_speculative_pop() {
         let mut q = WordQueue::new(8);
         q.try_push(&[1, 2, 3, 4]);
@@ -179,6 +359,34 @@ mod tests {
         assert_eq!(head, vec![1, 2]);
         q.push_front_invocation(&head);
         assert_eq!(q.pop_invocation(4), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn push_front_wraps_backwards_across_the_seam() {
+        let mut q = WordQueue::new(4);
+        q.try_push(&[9, 1, 2]);
+        q.pop_word(); // head now at index 1
+        let head = q.pop_invocation(2).unwrap(); // head at index 3, empty
+        assert_eq!(head, vec![1, 2]);
+        q.try_push(&[3]); // written at index 3
+        q.push_front_invocation(&head); // head wraps back to index 1
+        assert_eq!(q.pop_invocation(3), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn equality_ignores_physical_head_position() {
+        let mut a = WordQueue::new(4);
+        let mut b = WordQueue::new(4);
+        a.try_push(&[1, 2]);
+        b.try_push(&[0, 1]);
+        b.pop_word();
+        b.try_push(&[2]);
+        // Same logical content and high-water mark, different head index.
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert_eq!(a.max_occupancy(), b.max_occupancy());
+        assert_eq!(a, b);
+        a.pop_word();
+        assert_ne!(a, b);
     }
 
     #[test]

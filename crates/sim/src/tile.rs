@@ -7,8 +7,38 @@
 //! produced by distributing a [`dalorex_graph::CsrGraph`] with a
 //! [`crate::placement::Placement`]; [`TileState`] is the mutable
 //! part (kernel arrays, variables, queues, counters).
+//!
+//! # Incremental readiness tracking
+//!
+//! [`TileState`] is on the engine's per-tile per-cycle path, so it answers
+//! the TSU's standing questions in O(1) instead of rescanning queues:
+//!
+//! * **Idle?** — a single queued-word counter, maintained at every queue
+//!   mutation, makes [`TileState::is_idle`] a counter-and-comparison.
+//! * **Which task can dispatch?** — a per-tile *task-ready bitmask* (bit
+//!   `t` set when task `t` satisfies [`crate::tsu::Scheduler::is_eligible`])
+//!   is updated at the mutation points; the scheduler walks set bits
+//!   instead of probing queues.
+//! * **Which channel can inject?** — a *channel-ready bitmask* (bit `c`
+//!   set when channel `c`'s CQ holds at least one full message) drives the
+//!   engine's inject loop.
+//!
+//! Every queue mutation therefore goes through a [`TileState`] method
+//! (`push_iq`, `pop_cq_into`, ...) rather than touching a queue directly;
+//! the queues themselves are read-only to the outside
+//! ([`TileState::iqs`] / [`TileState::cqs`]).  The mask-free rescans the
+//! masks replaced are preserved as [`TileState::is_idle_scan`] and
+//! [`crate::tsu::Scheduler::pick_reference`], which the engine's reference
+//! tile path and the equivalence tests drive.
+//!
+//! Masks are maintained exactly for kernels with at most 64 tasks and 64
+//! channels (the paper's kernels declare at most four of each); beyond
+//! that [`TileState::masks_exact`] reports `false` and consumers fall back
+//! to the scanning path.
 
-use crate::kernel::{ArrayInit, ChannelDecl, LocalArrayDecl, LocalArrayLen, QueueCapacity, TaskDecl};
+use crate::kernel::{
+    ArrayInit, ChannelDecl, LocalArrayDecl, LocalArrayLen, QueueCapacity, TaskDecl, TaskParams,
+};
 use crate::placement::{ArraySpace, Placement};
 use crate::queues::WordQueue;
 use dalorex_graph::CsrGraph;
@@ -102,6 +132,60 @@ pub struct TileCounters {
     pub messages_received: u64,
 }
 
+/// Per-task scheduling metadata derived from the kernel declarations once,
+/// at tile construction, so the readiness masks can be recomputed without
+/// consulting the declarations again.
+#[derive(Debug, Clone)]
+struct ReadyMeta {
+    /// Minimum IQ words for the task to have input: `AutoPop(n)` needs `n`,
+    /// `SelfManaged` needs 1, and the (invalid, engine-rejected)
+    /// `AutoPop(0)` is encoded as `usize::MAX` so it is never ready —
+    /// exactly the `n > 0` guard in `Scheduler::is_eligible`.
+    iq_need: Vec<usize>,
+    /// Per task, the `(channel, words)` output-space guarantees.
+    cq_reqs: Vec<Box<[(usize, usize)]>>,
+    /// Per channel, the tasks whose eligibility watches that CQ's free
+    /// space (the reverse map of `cq_reqs`).
+    cq_watchers: Vec<Box<[usize]>>,
+    /// Per channel, the words of one full message (`flits_per_message`).
+    cq_msg_words: Vec<usize>,
+    /// Whether the bitmasks are maintained exactly (tasks and channels both
+    /// fit 64 bits).
+    exact: bool,
+}
+
+impl ReadyMeta {
+    fn new(tasks: &[TaskDecl], channels: &[ChannelDecl]) -> Self {
+        let iq_need = tasks
+            .iter()
+            .map(|t| match t.params {
+                TaskParams::AutoPop(0) => usize::MAX,
+                TaskParams::AutoPop(n) => n,
+                TaskParams::SelfManaged => 1,
+            })
+            .collect();
+        let cq_reqs: Vec<Box<[(usize, usize)]>> = tasks
+            .iter()
+            .map(|t| t.cq_space_required.clone().into_boxed_slice())
+            .collect();
+        let mut cq_watchers: Vec<Vec<usize>> = vec![Vec::new(); channels.len()];
+        for (task, reqs) in cq_reqs.iter().enumerate() {
+            for &(channel, _) in reqs.iter() {
+                if channel < channels.len() && !cq_watchers[channel].contains(&task) {
+                    cq_watchers[channel].push(task);
+                }
+            }
+        }
+        ReadyMeta {
+            iq_need,
+            cq_reqs,
+            cq_watchers: cq_watchers.into_iter().map(Vec::into_boxed_slice).collect(),
+            cq_msg_words: channels.iter().map(|c| c.flits_per_message).collect(),
+            exact: tasks.len() <= 64 && channels.len() <= 64,
+        }
+    }
+}
+
 /// The mutable per-tile state of a running simulation.
 #[derive(Debug, Clone)]
 pub struct TileState {
@@ -111,14 +195,25 @@ pub struct TileState {
     pub arrays: Vec<Vec<u32>>,
     /// Per-tile scalar variables.
     pub vars: Vec<u32>,
-    /// One input queue per task.
-    pub iqs: Vec<WordQueue>,
+    /// One input queue per task.  Private so every mutation flows through
+    /// the counter-maintaining methods below.
+    iqs: Vec<WordQueue>,
     /// One channel queue per channel.
-    pub cqs: Vec<WordQueue>,
+    cqs: Vec<WordQueue>,
     /// Cycle until which the PU is busy with the current task.
     pub pu_busy_until: u64,
     /// Activity counters.
     pub counters: TileCounters,
+    /// Total words queued across every IQ and CQ (the O(1) idle signal).
+    queued_words: usize,
+    /// Bit `t` set when task `t` is dispatch-eligible (valid when
+    /// `meta.exact`).
+    task_ready: u64,
+    /// Bit `c` set when channel `c`'s CQ holds at least one full message
+    /// (valid when `meta.exact`).
+    cq_ready: u64,
+    /// Declaration-derived readiness metadata.
+    meta: ReadyMeta,
 }
 
 impl TileState {
@@ -138,7 +233,7 @@ impl TileState {
             .iter()
             .map(|decl| build_array(decl, tile, placement, local_vertices, local_edges))
             .collect();
-        TileState {
+        let mut state = TileState {
             tile,
             arrays: built_arrays,
             vars: vec![0; num_vars],
@@ -162,16 +257,232 @@ impl TileState {
                 task_invocations: vec![0; tasks.len()],
                 ..TileCounters::default()
             },
+            queued_words: 0,
+            task_ready: 0,
+            cq_ready: 0,
+            meta: ReadyMeta::new(tasks, channels),
+        };
+        state.rebuild_masks();
+        state
+    }
+
+    /// The task input queues, in declaration order (read-only: mutations go
+    /// through [`TileState::push_iq`] and friends so the incremental
+    /// counters stay exact).
+    pub fn iqs(&self) -> &[WordQueue] {
+        &self.iqs
+    }
+
+    /// The channel (output) queues, in declaration order (read-only).
+    pub fn cqs(&self) -> &[WordQueue] {
+        &self.cqs
+    }
+
+    /// Whether the readiness bitmasks are maintained exactly (at most 64
+    /// tasks and 64 channels).  When false, consumers fall back to the
+    /// scanning paths.
+    pub fn masks_exact(&self) -> bool {
+        self.meta.exact
+    }
+
+    /// Bitmask of dispatch-eligible tasks (bit `t` set when task `t`
+    /// satisfies [`crate::tsu::Scheduler::is_eligible`]).  Only meaningful
+    /// when [`TileState::masks_exact`].
+    pub fn task_ready_mask(&self) -> u64 {
+        self.task_ready
+    }
+
+    /// Bitmask of channels whose CQ holds at least one full message.  Only
+    /// meaningful when [`TileState::masks_exact`].
+    pub fn cq_ready_mask(&self) -> u64 {
+        self.cq_ready
+    }
+
+    /// Total words queued across all IQs and CQs.
+    pub fn queued_words(&self) -> usize {
+        self.queued_words
+    }
+
+    /// Pushes an invocation into task `task`'s IQ; returns `false` if it
+    /// does not fit.
+    pub fn push_iq(&mut self, task: usize, words: &[u32]) -> bool {
+        let accepted = self.iqs[task].try_push(words);
+        if accepted {
+            self.queued_words += words.len();
+            self.note_iq_changed(task);
+        }
+        accepted
+    }
+
+    /// Pops one word from task `task`'s IQ (the self-managed `iq_pop`).
+    pub fn pop_iq_word(&mut self, task: usize) -> Option<u32> {
+        let word = self.iqs[task].pop_word();
+        if word.is_some() {
+            self.queued_words -= 1;
+            self.note_iq_changed(task);
+        }
+        word
+    }
+
+    /// Pops `count` words from task `task`'s IQ into `out[..count]`,
+    /// allocation-free.  Returns `false` (queue unchanged) if fewer than
+    /// `count` words are queued.
+    pub fn pop_iq_into(&mut self, task: usize, count: usize, out: &mut [u32]) -> bool {
+        let popped = self.iqs[task].pop_invocation_into(count, out);
+        if popped {
+            self.queued_words -= count;
+            self.note_iq_changed(task);
+        }
+        popped
+    }
+
+    /// `Vec`-returning variant of [`TileState::pop_iq_into`], preserved for
+    /// the reference tile path and tests.
+    pub fn pop_iq_invocation(&mut self, task: usize, count: usize) -> Option<Vec<u32>> {
+        let popped = self.iqs[task].pop_invocation(count);
+        if popped.is_some() {
+            self.queued_words -= count;
+            self.note_iq_changed(task);
+        }
+        popped
+    }
+
+    /// Pushes a message into channel `channel`'s CQ; returns `false` if it
+    /// does not fit.
+    pub fn push_cq(&mut self, channel: usize, words: &[u32]) -> bool {
+        let accepted = self.cqs[channel].try_push(words);
+        if accepted {
+            self.queued_words += words.len();
+            self.note_cq_changed(channel);
+        }
+        accepted
+    }
+
+    /// Pops `count` words from channel `channel`'s CQ into `out[..count]`,
+    /// allocation-free.  Returns `false` (queue unchanged) if fewer than
+    /// `count` words are queued.
+    pub fn pop_cq_into(&mut self, channel: usize, count: usize, out: &mut [u32]) -> bool {
+        let popped = self.cqs[channel].pop_invocation_into(count, out);
+        if popped {
+            self.queued_words -= count;
+            self.note_cq_changed(channel);
+        }
+        popped
+    }
+
+    /// `Vec`-returning variant of [`TileState::pop_cq_into`], preserved for
+    /// the reference tile path and tests.
+    pub fn pop_cq_invocation(&mut self, channel: usize, count: usize) -> Option<Vec<u32>> {
+        let popped = self.cqs[channel].pop_invocation(count);
+        if popped.is_some() {
+            self.queued_words -= count;
+            self.note_cq_changed(channel);
+        }
+        popped
+    }
+
+    /// Restores a speculatively popped message at the head of channel
+    /// `channel`'s CQ (the network rejected the injection this cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words no longer fit (they always do when undoing a pop
+    /// performed in the same cycle).
+    pub fn restore_cq_front(&mut self, channel: usize, words: &[u32]) {
+        self.cqs[channel].push_front_invocation(words);
+        self.queued_words += words.len();
+        self.note_cq_changed(channel);
+    }
+
+    /// Recomputes every readiness bit from scratch (construction and
+    /// debug-mode validation).
+    fn rebuild_masks(&mut self) {
+        if !self.meta.exact {
+            return;
+        }
+        self.task_ready = 0;
+        for task in 0..self.iqs.len() {
+            if self.compute_task_ready(task) {
+                self.task_ready |= 1u64 << task;
+            }
+        }
+        self.cq_ready = 0;
+        for channel in 0..self.cqs.len() {
+            if self.cqs[channel].len() >= self.meta.cq_msg_words[channel] {
+                self.cq_ready |= 1u64 << channel;
+            }
+        }
+    }
+
+    /// Whether task `task` is dispatch-eligible, computed from the stored
+    /// metadata.  Kept bit-identical to
+    /// [`crate::tsu::Scheduler::is_eligible`]; the scheduler debug-asserts
+    /// the two agree.
+    fn compute_task_ready(&self, task: usize) -> bool {
+        if self.iqs[task].len() < self.meta.iq_need[task] {
+            return false;
+        }
+        self.meta.cq_reqs[task]
+            .iter()
+            .all(|&(channel, words)| self.cqs[channel].free() >= words)
+    }
+
+    #[inline]
+    fn note_iq_changed(&mut self, task: usize) {
+        if !self.meta.exact {
+            return;
+        }
+        let bit = 1u64 << task;
+        if self.compute_task_ready(task) {
+            self.task_ready |= bit;
+        } else {
+            self.task_ready &= !bit;
+        }
+    }
+
+    #[inline]
+    fn note_cq_changed(&mut self, channel: usize) {
+        if !self.meta.exact {
+            return;
+        }
+        let bit = 1u64 << channel;
+        if self.cqs[channel].len() >= self.meta.cq_msg_words[channel] {
+            self.cq_ready |= bit;
+        } else {
+            self.cq_ready &= !bit;
+        }
+        // A CQ mutation moves its free space, which can flip the
+        // eligibility of every task holding an output-space guarantee on
+        // this channel.
+        for i in 0..self.meta.cq_watchers[channel].len() {
+            let task = self.meta.cq_watchers[channel][i];
+            let task_bit = 1u64 << task;
+            if self.compute_task_ready(task) {
+                self.task_ready |= task_bit;
+            } else {
+                self.task_ready &= !task_bit;
+            }
         }
     }
 
     /// Whether the tile has any queued work (non-empty IQ or CQ) or a busy
-    /// PU at `cycle`.  Used by the engine's active-tile tracking and by the
+    /// PU at `cycle`, in O(1) via the incrementally maintained queued-word
+    /// counter.  Used by the engine's active-tile tracking and by the
     /// hierarchical idle signal for termination.
     pub fn is_idle(&self, cycle: u64) -> bool {
-        self.pu_busy_until <= cycle
-            && self.iqs.iter().all(WordQueue::is_empty)
-            && self.cqs.iter().all(WordQueue::is_empty)
+        debug_assert_eq!(self.queued_words == 0, self.scan_queues_empty());
+        self.pu_busy_until <= cycle && self.queued_words == 0
+    }
+
+    /// The pre-overhaul idle check, scanning every queue — preserved for
+    /// the reference tile path and as the oracle the O(1) counter is
+    /// validated against.
+    pub fn is_idle_scan(&self, cycle: u64) -> bool {
+        self.pu_busy_until <= cycle && self.scan_queues_empty()
+    }
+
+    fn scan_queues_empty(&self) -> bool {
+        self.iqs.iter().all(WordQueue::is_empty) && self.cqs.iter().all(WordQueue::is_empty)
     }
 
     /// Scratchpad bytes used by kernel arrays, variables and queues.
@@ -212,7 +523,6 @@ fn build_array(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::TaskParams;
     use crate::placement::VertexPlacement;
     use dalorex_graph::{Edge, EdgeList};
     use std::sync::Arc;
@@ -301,9 +611,10 @@ mod tests {
         assert_eq!(state.arrays[3], vec![101, 103, 105, 107, 109]);
         assert_eq!(state.arrays[4], vec![9, 9, 9, 9]);
         assert_eq!(state.vars, vec![0, 0, 0]);
-        assert_eq!(state.iqs.len(), 2);
-        assert_eq!(state.cqs.len(), 1);
+        assert_eq!(state.iqs().len(), 2);
+        assert_eq!(state.cqs().len(), 1);
         assert!(state.is_idle(0));
+        assert!(state.masks_exact());
         assert!(state.kernel_footprint_bytes() > 0);
     }
 
@@ -313,11 +624,81 @@ mod tests {
         let (tasks, channels, arrays) = test_decls();
         let mut state = TileState::new(0, &placement, &tasks, &channels, &arrays, 0);
         assert!(state.is_idle(5));
-        state.iqs[0].try_push(&[7]);
+        state.push_iq(0, &[7]);
         assert!(!state.is_idle(5));
-        state.iqs[0].pop_word();
+        assert!(!state.is_idle_scan(5));
+        state.pop_iq_word(0);
         state.pu_busy_until = 10;
         assert!(!state.is_idle(5));
         assert!(state.is_idle(10));
+        assert_eq!(state.is_idle_scan(10), state.is_idle(10));
+    }
+
+    #[test]
+    fn queue_mutations_keep_the_word_counter_exact() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Chunked);
+        let (tasks, channels, arrays) = test_decls();
+        let mut state = TileState::new(0, &placement, &tasks, &channels, &arrays, 0);
+        assert_eq!(state.queued_words(), 0);
+        assert!(state.push_iq(1, &[1, 2]));
+        assert!(state.push_cq(0, &[3, 4]));
+        assert_eq!(state.queued_words(), 4);
+        let mut buf = [0u32; 2];
+        assert!(state.pop_cq_into(0, 2, &mut buf));
+        assert_eq!(buf, [3, 4]);
+        assert_eq!(state.queued_words(), 2);
+        state.restore_cq_front(0, &buf);
+        assert_eq!(state.queued_words(), 4);
+        assert_eq!(state.pop_cq_invocation(0, 2), Some(vec![3, 4]));
+        assert_eq!(state.pop_iq_invocation(1, 2), Some(vec![1, 2]));
+        assert_eq!(state.queued_words(), 0);
+        assert!(state.is_idle(0));
+    }
+
+    #[test]
+    fn task_ready_mask_tracks_inputs_and_output_space() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Chunked);
+        let (mut tasks, channels, arrays) = test_decls();
+        // T2 (AutoPop(2)) additionally needs 4 free words on channel 0.
+        tasks[1] = TaskDecl::new("T2", 64, TaskParams::AutoPop(2)).requires_cq_space(0, 4);
+        let mut state = TileState::new(0, &placement, &tasks, &channels, &arrays, 0);
+        assert_eq!(state.task_ready_mask(), 0);
+        // One word is not a full AutoPop(2) invocation.
+        state.push_iq(1, &[1]);
+        assert_eq!(state.task_ready_mask(), 0);
+        state.push_iq(1, &[2]);
+        assert_eq!(state.task_ready_mask(), 0b10);
+        // SelfManaged T1 becomes ready with any input.
+        state.push_iq(0, &[9]);
+        assert_eq!(state.task_ready_mask(), 0b11);
+        // Fill channel 0 so fewer than 4 words remain: T2 loses its bit.
+        let filler = vec![0u32; 13];
+        assert!(state.push_cq(0, &filler));
+        assert_eq!(state.task_ready_mask(), 0b01);
+        // Draining the CQ restores it.
+        assert!(state.pop_cq_invocation(0, 13).is_some());
+        assert_eq!(state.task_ready_mask(), 0b11);
+        // Consuming T2's invocation clears its bit again.
+        let mut buf = [0u32; 2];
+        assert!(state.pop_iq_into(1, 2, &mut buf));
+        assert_eq!(state.task_ready_mask(), 0b01);
+    }
+
+    #[test]
+    fn cq_ready_mask_requires_one_full_message() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Chunked);
+        let (tasks, channels, arrays) = test_decls();
+        // Channel 0 sends 2-flit messages.
+        let mut state = TileState::new(0, &placement, &tasks, &channels, &arrays, 0);
+        assert_eq!(state.cq_ready_mask(), 0);
+        state.push_cq(0, &[1]);
+        assert_eq!(state.cq_ready_mask(), 0);
+        state.push_cq(0, &[2]);
+        assert_eq!(state.cq_ready_mask(), 0b1);
+        let mut buf = [0u32; 2];
+        state.pop_cq_into(0, 2, &mut buf);
+        assert_eq!(state.cq_ready_mask(), 0);
+        state.restore_cq_front(0, &buf);
+        assert_eq!(state.cq_ready_mask(), 0b1);
     }
 }

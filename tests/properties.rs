@@ -12,7 +12,36 @@ use dalorex::sim::config::{GridConfig, SimConfigBuilder};
 use dalorex::sim::placement::ArraySpace;
 use dalorex::sim::{Placement, Simulation, VertexPlacement};
 use dalorex::graph::reference;
+use dalorex::sim::queues::WordQueue;
 use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One operation of the [`WordQueue`] model test.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Try to push this invocation.
+    Push(Vec<u32>),
+    /// Pop one word.
+    PopWord,
+    /// Pop an invocation of this many words (into a stack buffer).
+    PopInvocation(usize),
+    /// Pop an invocation of this many words, then restore it at the head
+    /// (the engine's speculative pop + rejected-injection undo).
+    PopAndRestore(usize),
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    // Encoded as a tuple (kind, count, words) so the strategy works with
+    // both the vendored proptest stand-in and the real crate.
+    (0usize..4, 1usize..6, proptest::collection::vec(1u32..1_000_000, 1..6)).prop_map(
+        |(kind, count, words)| match kind {
+            0 => QueueOp::Push(words),
+            1 => QueueOp::PopWord,
+            2 => QueueOp::PopInvocation(count),
+            _ => QueueOp::PopAndRestore(count),
+        },
+    )
+}
 
 /// Strategy: a random directed weighted graph with up to `max_v` vertices.
 fn arb_graph(max_v: usize, max_degree: usize) -> impl Strategy<Value = CsrGraph> {
@@ -41,6 +70,61 @@ fn small_sim(graph: &CsrGraph, placement: VertexPlacement) -> Simulation {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_word_queue_matches_vecdeque_model(
+        capacity in 1usize..24,
+        ops in proptest::collection::vec(arb_queue_op(), 1..120),
+    ) {
+        // The ring-buffer WordQueue against a straightforward VecDeque
+        // model: pushes, single-word pops, allocation-free invocation pops
+        // and the speculative pop + push-front undo must agree word for
+        // word, and the occupancy statistics must track the model exactly.
+        let mut queue = WordQueue::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut model_max = 0usize;
+        for op in ops {
+            match op {
+                QueueOp::Push(words) => {
+                    let fits = words.len() <= capacity - model.len();
+                    prop_assert_eq!(queue.can_push(words.len()), fits);
+                    prop_assert_eq!(queue.try_push(&words), fits);
+                    if fits {
+                        model.extend(words.iter().copied());
+                        model_max = model_max.max(model.len());
+                    }
+                }
+                QueueOp::PopWord => {
+                    prop_assert_eq!(queue.peek(), model.front().copied());
+                    prop_assert_eq!(queue.pop_word(), model.pop_front());
+                }
+                QueueOp::PopInvocation(count) => {
+                    let mut buf = [0u32; 8];
+                    let fits = count <= model.len();
+                    prop_assert_eq!(queue.pop_invocation_into(count, &mut buf), fits);
+                    if fits {
+                        let expected: Vec<u32> = model.drain(..count).collect();
+                        prop_assert_eq!(&buf[..count], expected.as_slice());
+                    }
+                }
+                QueueOp::PopAndRestore(count) => {
+                    if count <= model.len() {
+                        let head = queue.pop_invocation(count).unwrap();
+                        let expected: Vec<u32> =
+                            model.iter().take(count).copied().collect();
+                        prop_assert_eq!(&head, &expected);
+                        queue.push_front_invocation(&head);
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+            prop_assert_eq!(queue.free(), capacity - model.len());
+            prop_assert_eq!(queue.max_occupancy(), model_max);
+            prop_assert_eq!(queue.iter().collect::<Vec<u32>>(),
+                            model.iter().copied().collect::<Vec<u32>>());
+        }
+    }
 
     #[test]
     fn csr_round_trips_through_edge_lists(graph in arb_graph(120, 4)) {

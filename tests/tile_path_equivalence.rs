@@ -1,0 +1,171 @@
+//! Schedule-equivalence tests for the allocation-free tile path.
+//!
+//! `Simulation::run` drives the overhauled per-cycle tile path (ring-buffer
+//! queues, inline message payloads, O(1) idle tracking, incrementally
+//! maintained readiness masks, parked-injection elision);
+//! `Simulation::run_reference` drives the preserved pre-overhaul path.  The
+//! two must be *indistinguishable* — cycle counts, gathered outputs, every
+//! tile counter and every NoC statistic (including the per-tile injection
+//! rejections the parked-channel elision reconstructs instead of
+//! re-attempting) — across every topology, placement and scheduling
+//! policy, in barrierless and barrier mode, and at wider endpoint-drain
+//! budgets.
+//!
+//! A small golden table additionally pins absolute cycle counts for
+//! non-default configurations, so both paths drifting *together* (a bug in
+//! shared machinery) still fails loudly.
+
+use dalorex::baseline::Workload;
+use dalorex::graph::generators::rmat::RmatConfig;
+use dalorex::graph::CsrGraph;
+use dalorex::noc::Topology;
+use dalorex::sim::config::{BarrierMode, GridConfig, SchedulingPolicy, SimConfigBuilder};
+use dalorex::sim::{Simulation, VertexPlacement};
+
+fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> u64 {
+    let kernel = workload.kernel();
+    let fast = sim.run(kernel.as_ref()).unwrap();
+    let reference = sim.run_reference(kernel.as_ref()).unwrap();
+    assert_eq!(fast.cycles, reference.cycles, "{label}: cycles diverged");
+    assert_eq!(fast.output, reference.output, "{label}: outputs diverged");
+    assert_eq!(fast.stats, reference.stats, "{label}: statistics diverged");
+    assert_eq!(
+        fast.total_energy_j(),
+        reference.total_energy_j(),
+        "{label}: energy diverged"
+    );
+    fast.cycles
+}
+
+fn graph() -> CsrGraph {
+    RmatConfig::new(9, 8).seed(17).build().unwrap()
+}
+
+#[test]
+fn fast_path_matches_reference_across_topologies_placements_and_policies() {
+    let graph = graph();
+    for topology in [
+        Topology::Mesh,
+        Topology::Torus,
+        Topology::TorusRuche { factor: 2 },
+    ] {
+        for placement in [VertexPlacement::Chunked, VertexPlacement::Interleaved] {
+            for policy in [
+                SchedulingPolicy::RoundRobin,
+                SchedulingPolicy::OccupancyPriority,
+            ] {
+                let config = SimConfigBuilder::new(GridConfig::square(4))
+                    .scratchpad_bytes(1 << 20)
+                    .topology(topology)
+                    .vertex_placement(placement)
+                    .scheduling(policy)
+                    .build()
+                    .unwrap();
+                let sim = Simulation::new(config, &graph).unwrap();
+                assert_paths_identical(
+                    &sim,
+                    Workload::Sssp { root: 0 },
+                    &format!("{topology:?}/{placement:?}/{policy:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_matches_reference_for_every_workload() {
+    let graph = graph();
+    let config = SimConfigBuilder::new(GridConfig::square(4))
+        .scratchpad_bytes(1 << 20)
+        .build()
+        .unwrap();
+    let sim = Simulation::new(config.clone(), &graph).unwrap();
+    for workload in [
+        Workload::Bfs { root: 0 },
+        Workload::Sssp { root: 0 },
+        Workload::Wcc,
+        Workload::Spmv,
+    ] {
+        assert_paths_identical(&sim, workload, workload.name());
+    }
+    // PageRank exercises the epoch-barrier wake path.
+    let barrier = SimConfigBuilder::new(GridConfig::square(4))
+        .scratchpad_bytes(1 << 20)
+        .barrier_mode(BarrierMode::EpochBarrier)
+        .build()
+        .unwrap();
+    let sim = Simulation::new(barrier, &graph).unwrap();
+    assert_paths_identical(&sim, Workload::PageRank { epochs: 3 }, "pagerank-barrier");
+}
+
+#[test]
+fn fast_path_matches_reference_at_wider_endpoint_budgets() {
+    // The drain/inject budget interacts with the parked-channel rejection
+    // accounting (channels beyond the budget's break point accrue no
+    // rejection), so sweep it explicitly.
+    let graph = graph();
+    for drains in [1usize, 2, 4] {
+        let config = SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(1 << 20)
+            .endpoint_drains_per_cycle(drains)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        assert_paths_identical(&sim, Workload::Sssp { root: 0 }, &format!("drains={drains}"));
+    }
+}
+
+#[test]
+fn fast_path_matches_reference_under_tight_buffers() {
+    // Small router buffers maximise back-pressure, the regime in which the
+    // parked-injection elision does the most skipping.
+    let graph = graph();
+    let config = SimConfigBuilder::new(GridConfig::square(4))
+        .scratchpad_bytes(1 << 20)
+        .noc_buffer_flits(8)
+        .noc_ejection_flits(8)
+        .build()
+        .unwrap();
+    let sim = Simulation::new(config, &graph).unwrap();
+    assert_paths_identical(&sim, Workload::Sssp { root: 0 }, "tight-buffers");
+}
+
+/// Golden cycle counts for non-default configurations, captured when the
+/// overhaul landed.  Both engines must keep reproducing them exactly; a
+/// drift here with the equivalence tests still green means shared
+/// machinery changed the modelled schedule itself.
+#[test]
+fn golden_cycles_pin_both_paths() {
+    let graph = graph();
+    let cases: &[(&str, Topology, VertexPlacement, SchedulingPolicy, u64)] = &[
+        (
+            "mesh/chunked/round-robin",
+            Topology::Mesh,
+            VertexPlacement::Chunked,
+            SchedulingPolicy::RoundRobin,
+            GOLDEN_MESH_CHUNKED_RR,
+        ),
+        (
+            "torus/interleaved/occupancy",
+            Topology::Torus,
+            VertexPlacement::Interleaved,
+            SchedulingPolicy::OccupancyPriority,
+            GOLDEN_TORUS_INTERLEAVED_OCC,
+        ),
+    ];
+    for &(label, topology, placement, policy, golden) in cases {
+        let config = SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(1 << 20)
+            .topology(topology)
+            .vertex_placement(placement)
+            .scheduling(policy)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let cycles = assert_paths_identical(&sim, Workload::Sssp { root: 0 }, label);
+        assert_eq!(cycles, golden, "{label}: cycle count drifted from the golden");
+    }
+}
+
+const GOLDEN_MESH_CHUNKED_RR: u64 = 10677;
+const GOLDEN_TORUS_INTERLEAVED_OCC: u64 = 9476;

@@ -11,6 +11,11 @@
 //! statistics.  Under `cargo test` (which executes `harness = false` bench
 //! targets once) each benchmark runs a single iteration so the test suite
 //! stays fast; set `CRITERION_SAMPLES` to force a sample count.
+//!
+//! Like the real `criterion`, a positional command-line argument acts as a
+//! name filter: `cargo bench --bench sim_microbench -- sim_64x64` runs
+//! only the benchmarks whose full name contains `sim_64x64` (substring
+//! match; the real crate matches a regex).
 
 #![forbid(unsafe_code)]
 
@@ -56,7 +61,33 @@ impl Bencher {
     }
 }
 
+/// The first positional (non-flag) command-line argument, if any: the
+/// benchmark-name filter, as in the real `criterion`.  Only honoured in
+/// bench mode (`cargo bench` passes `--bench`), so `cargo test`'s own
+/// positional test filters never suppress the smoke iteration.
+fn name_filter() -> Option<String> {
+    let mut bench_mode = false;
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--bench" {
+            bench_mode = true;
+        } else if !arg.starts_with('-') && filter.is_none() {
+            filter = Some(arg);
+        }
+    }
+    if bench_mode {
+        filter
+    } else {
+        None
+    }
+}
+
 fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = name_filter() {
+        if !name.contains(&filter) {
+            return;
+        }
+    }
     let mut bencher = Bencher {
         samples,
         elapsed: Duration::ZERO,
