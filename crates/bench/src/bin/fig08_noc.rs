@@ -20,14 +20,13 @@
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{drains_flag_or, write_json_if_requested, Measurement, Table};
+use dalorex_bench::report::{
+    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
+};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
 
-/// Default endpoint budget: the smallest at which the topology comparison
-/// runs fabric-bound (see the module docs).
-const FABRIC_BOUND_DRAINS: usize = 2;
 
 fn main() {
     let labels = [

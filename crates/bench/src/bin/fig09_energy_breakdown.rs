@@ -4,14 +4,25 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig09_energy_breakdown [-- --csv]
+//! cargo run -p dalorex-bench --release --bin fig09_energy_breakdown -- \
+//!     [--csv] [--json <path>] [--drains <a,b,...>]
 //! ```
+//!
+//! Like `fig08_noc`, the runs default to an endpoint budget of **2**
+//! drains/injections per tile per cycle so the breakdown reflects the
+//! fabric-bound regime the rest of the suite measures; pass `--drains 1`
+//! for the paper's single-port endpoint (an endpoint-bound run idles the
+//! PUs and shifts the breakdown toward static SRAM energy).  The budget of
+//! every row is emitted in the table and in the `--json` measurements.
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::Table;
+use dalorex_bench::report::{
+    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
+};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
+
 
 fn main() {
     let labels = [
@@ -21,16 +32,19 @@ fn main() {
         DatasetLabel::Rmat(26),
     ];
     let max_side = datasets::max_grid_side();
+    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut table = Table::new(vec![
         "app",
         "dataset",
         "tiles",
+        "drains",
         "logic-%",
         "memory-%",
         "network-%",
         "total-J",
     ]);
+    let mut measurements = Vec::new();
 
     for workload in Workload::full_set() {
         for label in labels {
@@ -41,25 +55,48 @@ fn main() {
             };
             let graph = datasets::build(label);
             let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
-            let outcome = match run_dalorex(&graph, workload, RunOptions::new(side, scratchpad)) {
-                Ok(outcome) => outcome,
-                Err(err) => {
-                    eprintln!("skipping {} / {}: {err}", workload.name(), label.as_str());
-                    continue;
-                }
-            };
-            let (logic, memory, network) = outcome.energy.shares_percent();
-            table.push_row(vec![
-                workload.name().to_string(),
-                label.as_str(),
-                (side * side).to_string(),
-                format!("{logic:.1}"),
-                format!("{memory:.1}"),
-                format!("{network:.1}"),
-                format!("{:.3e}", outcome.total_energy_j()),
-            ]);
+            for &drains in &drains_sweep {
+                let options =
+                    RunOptions::new(side, scratchpad).with_endpoint_drains(drains);
+                let outcome = match run_dalorex(&graph, workload, options) {
+                    Ok(outcome) => outcome,
+                    Err(err) => {
+                        eprintln!(
+                            "skipping {} / {} / {drains} drains: {err}",
+                            workload.name(),
+                            label.as_str()
+                        );
+                        continue;
+                    }
+                };
+                let (logic, memory, network) = outcome.energy.shares_percent();
+                table.push_row(vec![
+                    workload.name().to_string(),
+                    label.as_str(),
+                    (side * side).to_string(),
+                    drains.to_string(),
+                    format!("{logic:.1}"),
+                    format!("{memory:.1}"),
+                    format!("{network:.1}"),
+                    format!("{:.3e}", outcome.total_energy_j()),
+                ]);
+                measurements.push(Measurement {
+                    experiment: "fig9".to_string(),
+                    workload: workload.name().to_string(),
+                    dataset: label.as_str(),
+                    configuration: format!("{} tiles", side * side),
+                    cycles: outcome.cycles,
+                    energy_j: outcome.total_energy_j(),
+                    value: network,
+                    endpoint_drains: drains,
+                    rejected_injections: outcome.stats.noc.total_injection_rejections(),
+                });
+            }
         }
     }
 
-    table.print("Figure 9: energy breakdown (logic / memory / network), % of total");
+    table.print(
+        "Figure 9: energy breakdown (logic / memory / network), % of total (endpoint budget per row in the drains column)",
+    );
+    write_json_if_requested(&measurements);
 }

@@ -7,63 +7,95 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig10_heatmaps [-- --csv]
+//! cargo run -p dalorex-bench --release --bin fig10_heatmaps -- \
+//!     [--csv] [--json <path>] [--drains <a,b,...>]
 //! ```
+//!
+//! Like `fig08_noc`, the runs default to an endpoint budget of **2**
+//! drains/injections per tile per cycle so the mesh-vs-torus contrast is
+//! fabric-bound (at a single-port endpoint the local port serializes both
+//! topologies equally and the heatmaps flatten); pass `--drains 1` for the
+//! paper's single-port tile.  The budget of every row is emitted in the
+//! summary table and in the `--json` measurements.
 
 use dalorex_baseline::Workload;
 use dalorex_bench::datasets;
-use dalorex_bench::report::Table;
+use dalorex_bench::report::{
+    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
+};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
 use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
 use dalorex_sim::Simulation;
+
 
 fn main() {
     let side = datasets::max_grid_side().clamp(4, 16);
     let graph = datasets::build(DatasetLabel::Rmat(22));
     let workload = Workload::Sssp { root: 0 };
     let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
+    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut summary = Table::new(vec![
         "topology",
+        "drains",
         "cycles",
         "mean-PU-util-%",
         "router-util-variation",
         "max-router-util-%",
     ]);
+    let mut measurements = Vec::new();
 
-    for topology in [Topology::Mesh, Topology::Torus] {
-        let config = SimConfigBuilder::new(GridConfig::square(side))
-            .scratchpad_bytes(scratchpad)
-            .topology(topology)
-            .barrier_mode(BarrierMode::Barrierless)
-            .build()
-            .expect("valid configuration");
-        let sim = Simulation::new(config, &graph).expect("dataset fits");
-        let kernel = workload.kernel();
-        let outcome = sim.run(kernel.as_ref()).expect("simulation completes");
-        let pu = outcome.stats.pu_utilization_grid();
-        let routers = outcome.stats.router_utilization_grid();
-        println!(
-            "## {} — PU utilization heatmap ({side}x{side} tiles, SSSP on {})",
-            topology.name(),
-            DatasetLabel::Rmat(22).as_str()
-        );
-        print!("{}", pu.to_ascii());
-        println!(
-            "## {} — router utilization heatmap ({side}x{side} tiles)",
-            topology.name()
-        );
-        print!("{}", routers.to_ascii());
-        println!();
-        summary.push_row(vec![
-            topology.name().to_string(),
-            outcome.cycles.to_string(),
-            format!("{:.1}", 100.0 * outcome.stats.mean_pu_utilization()),
-            format!("{:.3}", routers.variation()),
-            format!("{:.1}", 100.0 * routers.max()),
-        ]);
+    for &drains in &drains_sweep {
+        for topology in [Topology::Mesh, Topology::Torus] {
+            let config = SimConfigBuilder::new(GridConfig::square(side))
+                .scratchpad_bytes(scratchpad)
+                .topology(topology)
+                .barrier_mode(BarrierMode::Barrierless)
+                .endpoint_drains_per_cycle(drains)
+                .build()
+                .expect("valid configuration");
+            let sim = Simulation::new(config, &graph).expect("dataset fits");
+            let kernel = workload.kernel();
+            let outcome = sim.run(kernel.as_ref()).expect("simulation completes");
+            let pu = outcome.stats.pu_utilization_grid();
+            let routers = outcome.stats.router_utilization_grid();
+            println!(
+                "## {} — PU utilization heatmap ({side}x{side} tiles, SSSP on {}, {drains} drains/cycle)",
+                topology.name(),
+                DatasetLabel::Rmat(22).as_str()
+            );
+            print!("{}", pu.to_ascii());
+            println!(
+                "## {} — router utilization heatmap ({side}x{side} tiles, {drains} drains/cycle)",
+                topology.name()
+            );
+            print!("{}", routers.to_ascii());
+            println!();
+            summary.push_row(vec![
+                topology.name().to_string(),
+                drains.to_string(),
+                outcome.cycles.to_string(),
+                format!("{:.1}", 100.0 * outcome.stats.mean_pu_utilization()),
+                format!("{:.3}", routers.variation()),
+                format!("{:.1}", 100.0 * routers.max()),
+            ]);
+            measurements.push(Measurement {
+                experiment: "fig10".to_string(),
+                workload: workload.name().to_string(),
+                dataset: DatasetLabel::Rmat(22).as_str(),
+                configuration: format!("{} tiles, {}", side * side, topology.name()),
+                cycles: outcome.cycles,
+                energy_j: outcome.total_energy_j(),
+                value: routers.variation(),
+                endpoint_drains: drains,
+                rejected_injections: outcome.stats.noc.total_injection_rejections(),
+            });
+        }
     }
 
-    summary.print("Figure 10 summary: mesh concentrates load (higher variation), torus spreads it");
+    summary.print(
+        "Figure 10 summary: mesh concentrates load (higher variation), torus spreads it (endpoint budget per row in the drains column)",
+    );
+    write_json_if_requested(&measurements);
 }

@@ -227,6 +227,15 @@ pub fn json_output_path() -> Option<String> {
     flag_value("json")
 }
 
+/// Default endpoint budget (messages drained/injected per tile per cycle)
+/// for the figure binaries whose comparison must run *fabric-bound*:
+/// `fig08_noc`, `fig09_energy_breakdown` and `fig10_heatmaps` all pass
+/// `&[FABRIC_BOUND_DRAINS]` to [`drains_flag_or`].  Two is the smallest
+/// budget at which the dense runs stop being serialized by the single
+/// local router port; retune it here, in one place, if larger grids ever
+/// move the knee.
+pub const FABRIC_BOUND_DRAINS: usize = 2;
+
 /// Parses the `--drains <a,b,...>` flag: the endpoint-drain budgets a
 /// figure binary sweeps (default just `[1]`, the paper's single-port
 /// tile).  Invalid or zero entries are dropped with a warning on stderr
@@ -237,8 +246,9 @@ pub fn drains_flag() -> Vec<usize> {
 
 /// Like [`drains_flag`], with a caller-chosen default sweep for binaries
 /// whose figure is not measured at the paper's single-port endpoint —
-/// `fig08_noc` defaults to a wider budget so the topology comparison runs
-/// fabric-bound rather than endpoint-bound.
+/// `fig08_noc`, `fig09_energy_breakdown` and `fig10_heatmaps` default to
+/// [`FABRIC_BOUND_DRAINS`] so their comparisons run fabric-bound rather
+/// than endpoint-bound.
 pub fn drains_flag_or(default: &[usize]) -> Vec<usize> {
     let mut parsed = Vec::new();
     if let Some(list) = flag_value("drains") {

@@ -41,6 +41,27 @@
 //! [`Network::cycle_reference`] — a correctness oracle for schedule
 //! regression tests and the baseline the `sim_microbench` speedup case
 //! measures against.
+//!
+//! # Cycle skipping (the event horizon)
+//!
+//! Most cycles of a serialization-bound run move nothing: every link that
+//! forwarded a multi-flit message sits busy for `flits` cycles, and a
+//! cut-through message is not forwardable until its last flit has arrived.
+//! [`Network::cycle`] therefore computes, as a by-product of the scan it
+//! already performs, a **next-event bound**: the earliest future cycle at
+//! which a forward could possibly commit (the minimum over busy links'
+//! un-busy times, buffered heads' `ready_at`s, and post-commit link-free
+//! times; see [`Network::next_event_cycle`] for the exact contract).
+//! Cycles below the bound are provably no-ops — ticking through them would
+//! only increment the cycle counter — so a driver may jump them in O(1)
+//! with [`Network::advance_to`] instead of calling [`Network::cycle`] once
+//! per cycle.  Skipping changes no modelled behaviour: the forwarding
+//! schedule, every latency and busy statistic, the per-tile rejection
+//! counts and the drain versions are bit-identical to ticking every cycle
+//! (and therefore to [`Network::cycle_reference`]); only the number of
+//! `cycle()` calls — simulator wall-clock, not modelled time — shrinks.
+//! The tile simulator in `dalorex-sim` combines this bound with its own
+//! tile-side event tracking to jump whole-chip quiescent stretches.
 
 use crate::message::Message;
 use crate::router::{QueuedMessage, Router};
@@ -72,6 +93,24 @@ fn port_dimension(port: Port) -> Dimension {
         Port::North | Port::South | Port::RucheNorth | Port::RucheSouth => Dimension::Y,
         Port::Local => Dimension::None,
     }
+}
+
+/// State of the head message of one (port, channel) FIFO, as seen by the
+/// forwarding scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForwardCandidate {
+    /// No message buffered.
+    Empty,
+    /// The head's last flit is still arriving; it becomes forwardable at
+    /// the carried cycle (a next-event candidate).
+    ReadyAt(u64),
+    /// The head may move this cycle, pending downstream acceptance.
+    Ready {
+        /// Message length in flits.
+        flits: usize,
+        /// Final destination tile.
+        dest: TileId,
+    },
 }
 
 /// Cycle-level network-on-chip simulator.
@@ -118,6 +157,14 @@ pub struct Network {
     /// retries.  Kept in a dense side array so polling it does not touch
     /// the (much larger) router state.
     drain_versions: Vec<u32>,
+    /// Lower bound on the next cycle at which a forward could commit: no
+    /// call to [`Network::cycle`] with `self.cycle < next_commit_at` can
+    /// move a message.  Recomputed by every `cycle()` from the scan it
+    /// already performs, and tightened by [`Network::try_inject`] (a new
+    /// candidate appears) and [`Network::pop_delivered_on`] (freed ejection
+    /// space may unblock an upstream message).  `u64::MAX` means no buffered
+    /// message can ever move without external action (an endpoint drain).
+    next_commit_at: u64,
 }
 
 impl Network {
@@ -206,6 +253,7 @@ impl Network {
             delivery_events: Vec::new(),
             delivery_event_pending: vec![false; num_tiles],
             drain_versions: vec![0; num_tiles],
+            next_commit_at: 0,
             config,
         }
     }
@@ -438,6 +486,10 @@ impl Network {
             self.routers[src].push(port, channel, queued);
         } else {
             self.in_flight_messages += 1;
+            // The new message is forwardable as soon as its output link is
+            // free: a fresh candidate for the next-event bound.
+            let candidate = self.cycle.max(self.routers[src].link_busy_until(port));
+            self.next_commit_at = self.next_commit_at.min(candidate);
             self.routers[src].push(port, channel, queued);
             self.mark_active(src);
         }
@@ -471,6 +523,13 @@ impl Network {
         let queued = self.routers[tile].pop(Port::Local, channel)?;
         self.awaiting_ejection -= 1;
         self.drain_versions[tile] = self.drain_versions[tile].wrapping_add(1);
+        if self.routers[tile].wake_on_pop {
+            // An upstream message was blocked on one of this router's full
+            // buffers; the freed ejection space may let it move on the very
+            // next cycle, so the event horizon collapses to "now".
+            self.routers[tile].wake_on_pop = false;
+            self.next_commit_at = self.next_commit_at.min(self.cycle);
+        }
         Some(queued.message)
     }
 
@@ -495,15 +554,30 @@ impl Network {
     /// and no heap allocation happens in steady state.  The forwarding
     /// schedule (which message moves on which cycle) is bit-identical to
     /// [`Network::cycle_reference`].
+    ///
+    /// As a by-product the scan recomputes the next-event bound consumed by
+    /// [`Network::next_event_cycle`] / [`Network::advance_to`].
     pub fn cycle(&mut self) {
         let now = self.cycle;
+        let mut next_commit = u64::MAX;
         debug_assert!(self.active_scratch.is_empty());
         std::mem::swap(&mut self.active_list, &mut self.active_scratch);
         for i in 0..self.active_scratch.len() {
             let tile = self.active_scratch[i];
             self.active[tile] = false;
-            self.cycle_router(tile, now);
-            if self.routers[tile].forwardable_messages() > 0 && !self.active[tile] {
+            self.cycle_router(tile, now, &mut next_commit);
+            // Retain routers with *any* buffered message — including ones
+            // holding only undrained ejection-buffer deliveries — exactly
+            // like the reference scan does.  Retention is not about work
+            // (an ejection-only router forwards nothing): it preserves the
+            // router's *position* in the arbitration order, so that when a
+            // forwardable message later arrives the router contends from
+            // the same list slot as in the reference schedule.  Dropping
+            // such routers (and re-adding them on arrival, at the head
+            // section) permuted same-cycle arbitration in undrained
+            // regimes — a pre-skip-engine infidelity found by the skip
+            // equivalence property suite.
+            if self.routers[tile].buffered_messages() > 0 && !self.active[tile] {
                 self.active[tile] = true;
                 self.requeue_scratch.push(tile);
             }
@@ -512,6 +586,60 @@ impl Network {
         self.active_list.append(&mut self.requeue_scratch);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        self.next_commit_at = next_commit.max(self.cycle);
+    }
+
+    /// The earliest cycle at which [`Network::cycle`] could forward a
+    /// message, as currently provable: every cycle strictly below the
+    /// returned value is guaranteed to move nothing, so a driver may jump
+    /// straight to it with [`Network::advance_to`].  Returns the current
+    /// cycle when a forward may be possible right now, and `u64::MAX` when
+    /// no buffered message can ever move without external action (an
+    /// endpoint draining an ejection buffer).
+    ///
+    /// The bound is a *lower* bound on the true next commit: jumping to it
+    /// and finding that nothing moves there (for example a head that is
+    /// ready but still blocked downstream) is possible and harmless — the
+    /// next `cycle()` call recomputes a later bound.
+    pub fn next_event_cycle(&self) -> u64 {
+        self.next_commit_at.max(self.cycle)
+    }
+
+    /// Jumps the network clock forward to `target` without simulating the
+    /// intervening cycles, which [`Network::next_event_cycle`] proves are
+    /// no-ops.  Exactly equivalent to calling [`Network::cycle`]
+    /// `target - current_cycle` times: only the cycle counter (and the
+    /// mirrored [`NocStats::cycles`]) changes — no message moves, no
+    /// delivery fires, no busy time, latency, rejection count or drain
+    /// version can differ from the ticked execution.
+    ///
+    /// A `target` at or below the current cycle is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` lies beyond [`Network::next_event_cycle`], where a
+    /// forward could commit and skipping would change the schedule, and on
+    /// `u64::MAX` — the "no next event" sentinel
+    /// [`Network::next_event_cycle`] returns when no buffered message can
+    /// ever move without an endpoint drain.  Jumping there would corrupt
+    /// the clock; drivers must wait for a drain (or give up) instead of
+    /// advancing time.
+    pub fn advance_to(&mut self, target: u64) {
+        if target <= self.cycle {
+            return;
+        }
+        assert!(
+            target != u64::MAX,
+            "advance_to(u64::MAX): no forward can ever commit without an endpoint \
+             drain — advancing time cannot help"
+        );
+        assert!(
+            target <= self.next_commit_at,
+            "advance_to({target}) would skip past the next possible forward at {}",
+            self.next_commit_at
+        );
+        self.cycle = target;
+        self.stats.cycles = target;
     }
 
     /// The pre-overhaul cycle implementation, kept as a reference oracle.
@@ -549,9 +677,13 @@ impl Network {
         self.active_list.extend(still_active);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        // The reference scan does not track candidates; never claim any
+        // cycle skippable after it, so mixing it with `advance_to` stays
+        // safe (it simply never skips).
+        self.next_commit_at = self.cycle;
     }
 
-    fn cycle_router(&mut self, tile: TileId, now: u64) {
+    fn cycle_router(&mut self, tile: TileId, now: u64, next_commit: &mut u64) {
         for i in 0..self.forward_ports.len() {
             let port = self.forward_ports[i];
             let router = &self.routers[tile];
@@ -560,10 +692,16 @@ impl Network {
                 // fully accounted when the occupying message was forwarded.
                 continue;
             }
-            if router.link_busy_until(port) > now {
+            let busy_until = router.link_busy_until(port);
+            if busy_until > now {
+                // The earliest this port can act again is when its link
+                // frees (its head may additionally not be ready by then —
+                // the bound is a lower bound, the rescan at `busy_until`
+                // tightens it).
+                *next_commit = (*next_commit).min(busy_until);
                 continue;
             }
-            self.try_forward(tile, port, now);
+            self.try_forward(tile, port, now, next_commit);
         }
     }
 
@@ -576,7 +714,7 @@ impl Network {
     /// the downstream port is routed from cached coordinates.  The
     /// decisions it commits are bit-identical to
     /// [`Network::try_forward_reference`].
-    fn try_forward(&mut self, tile: TileId, port: Port, now: u64) {
+    fn try_forward(&mut self, tile: TileId, port: Port, now: u64, next_commit: &mut u64) {
         let channels = self.config.channels;
         let start_channel = self.routers[tile].rr_channel(port);
         for offset in 0..channels {
@@ -584,28 +722,61 @@ impl Network {
             if !self.routers[tile].channel_occupied(port, channel) {
                 continue;
             }
-            let Some((flits, dest)) = self.forwardable_message(tile, port, channel, now) else {
-                continue;
-            };
-            // Where does this link lead, and which buffer does the message
-            // occupy there?  Dimension-ordered routing buffered the message
-            // at its routed output port, so the link destination is a table
-            // lookup; the debug assertion cross-checks it against the full
-            // routing geometry.
-            let next_tile = self.link_dest[tile * Port::ALL.len() + port.index()];
-            debug_assert_eq!(
-                self.grid.next_hop(tile, dest).map(|h| (h.port, h.next)),
-                Some((port, next_tile)),
-                "a buffered message never sits at its destination's non-local port"
-            );
-            let (next_port, entering) = self.routed_port(next_tile, dest, port_dimension(port));
-            let bubble = flits;
-            if !self.routers[next_tile].can_accept(next_port, channel, flits, entering, bubble) {
-                continue;
+            match self.forwardable_message(tile, port, channel, now) {
+                ForwardCandidate::ReadyAt(ready_at) => {
+                    // Cut-through: the head cannot move before its last flit
+                    // has arrived — a future event candidate.
+                    *next_commit = (*next_commit).min(ready_at);
+                    continue;
+                }
+                ForwardCandidate::Empty => continue,
+                ForwardCandidate::Ready { flits, dest } => {
+                    // Where does this link lead, and which buffer does the
+                    // message occupy there?  Dimension-ordered routing
+                    // buffered the message at its routed output port, so the
+                    // link destination is a table lookup; the debug
+                    // assertion cross-checks it against the full routing
+                    // geometry.
+                    let next_tile = self.link_dest[tile * Port::ALL.len() + port.index()];
+                    debug_assert_eq!(
+                        self.grid.next_hop(tile, dest).map(|h| (h.port, h.next)),
+                        Some((port, next_tile)),
+                        "a buffered message never sits at its destination's non-local port"
+                    );
+                    let (next_port, entering) =
+                        self.routed_port(next_tile, dest, port_dimension(port));
+                    let bubble = flits;
+                    if !self.routers[next_tile].can_accept(
+                        next_port, channel, flits, entering, bubble,
+                    ) {
+                        // Blocked on a full downstream buffer: this head can
+                        // only move after a pop frees space there, so it
+                        // contributes no time candidate — the downstream
+                        // router's wake-on-pop flag re-arms the bound when
+                        // that pop happens.
+                        self.routers[next_tile].wake_on_pop = true;
+                        continue;
+                    }
+                    self.commit_forward(tile, port, channel, flits, next_tile, next_port, now);
+                    *next_commit = (*next_commit).min(self.commit_bound(tile, port, now));
+                    return;
+                }
             }
-            self.commit_forward(tile, port, channel, flits, next_tile, next_port, now);
-            return;
         }
+    }
+
+    /// Next-event candidates created by a forward just committed at
+    /// `(tile, port)`: the cycle this port's link frees (when the message
+    /// just sent becomes forwardable downstream, and when any message still
+    /// buffered here can go next), plus "next cycle" if an upstream message
+    /// was blocked on one of this router's now-less-full buffers.
+    fn commit_bound(&mut self, tile: TileId, port: Port, now: u64) -> u64 {
+        let mut bound = self.routers[tile].link_busy_until(port);
+        if self.routers[tile].wake_on_pop {
+            self.routers[tile].wake_on_pop = false;
+            bound = now + 1;
+        }
+        bound
     }
 
     /// The pre-overhaul candidate evaluation, kept verbatim for
@@ -619,7 +790,9 @@ impl Network {
         let start_channel = self.routers[tile].rr_channel(port);
         for offset in 0..channels {
             let channel = (start_channel + offset) % channels;
-            let Some((flits, dest)) = self.forwardable_message(tile, port, channel, now) else {
+            let ForwardCandidate::Ready { flits, dest } =
+                self.forwardable_message(tile, port, channel, now)
+            else {
                 continue;
             };
             let hop = self
@@ -697,21 +870,27 @@ impl Network {
         self.routers[tile].advance_rr(port, self.config.channels);
     }
 
-    /// Returns `(flits, dest)` of the head message on (tile, port, channel)
-    /// if it is ready to move this cycle.
+    /// Classifies the head message on (tile, port, channel): ready to move
+    /// this cycle, ready only at a future cycle (cut-through still
+    /// arriving), or no message at all.
     fn forwardable_message(
         &self,
         tile: TileId,
         port: Port,
         channel: ChannelId,
         now: u64,
-    ) -> Option<(usize, TileId)> {
+    ) -> ForwardCandidate {
         let buffer = self.routers[tile].buffer(port, channel);
-        let queued = buffer.front()?;
+        let Some(queued) = buffer.front() else {
+            return ForwardCandidate::Empty;
+        };
         if queued.ready_at > now {
-            return None;
+            return ForwardCandidate::ReadyAt(queued.ready_at);
         }
-        Some((queued.message.len(), queued.message.dest()))
+        ForwardCandidate::Ready {
+            flits: queued.message.len(),
+            dest: queued.message.dest(),
+        }
     }
 
     /// Accounts busy cycles for a router as the union of its ports' link
@@ -1019,6 +1198,185 @@ mod tests {
         assert!(net.can_inject(0, 0, 2));
         net.try_inject(0, Message::new(0, 0, vec![1, 2])).unwrap();
         assert_eq!(net.pop_delivered(0).unwrap().payload(), &[1, 2]);
+    }
+
+    /// Drains `net` by jumping to each next event instead of ticking; the
+    /// modelled schedule must be identical to ticking every cycle.
+    fn run_until_idle_skipping(net: &mut Network, max_steps: u64) {
+        let mut steps = 0;
+        while net.in_flight() > 0 {
+            let bound = net.next_event_cycle();
+            assert_ne!(bound, u64::MAX, "in-flight traffic must have a next event");
+            net.advance_to(bound);
+            net.cycle();
+            steps += 1;
+            assert!(steps < max_steps, "skip drive loop did not drain");
+        }
+    }
+
+    /// The skip-to-next-event drive loop lands on exactly the same final
+    /// state as the pre-overhaul reference ticking every cycle: same
+    /// delivery counts, same modelled cycle count, same latency totals,
+    /// same busy accounting and per-router traffic — across topologies.
+    #[test]
+    fn skip_drive_loop_matches_reference_schedule() {
+        for topology in [
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::TorusRuche { factor: 2 },
+        ] {
+            let mut skip = small_net(topology);
+            let mut reference = small_net(topology);
+            let traffic: Vec<(usize, usize, usize, usize)> = (0..48)
+                .map(|i| (i % 16, (i * 7 + 3) % 16, i % 4, 1 + i % 3))
+                .collect();
+            // Injection phase: both networks tick cycle by cycle with
+            // identical retry-on-backpressure, so attempts (and rejection
+            // statistics) line up exactly.
+            let mut pending_skip: Vec<(usize, Message)> = traffic
+                .iter()
+                .map(|&(s, d, c, l)| (s, Message::new(d, c, vec![9u32; l])))
+                .collect();
+            let mut pending_ref = pending_skip.clone();
+            let mut guard = 0;
+            while !pending_skip.is_empty() || !pending_ref.is_empty() {
+                let mut retry = Vec::new();
+                for (src, msg) in pending_skip.drain(..) {
+                    if let Err(r) = skip.try_inject(src, msg) {
+                        retry.push((src, r.message));
+                    }
+                }
+                pending_skip = retry;
+                let mut retry = Vec::new();
+                for (src, msg) in pending_ref.drain(..) {
+                    if let Err(r) = reference.try_inject(src, msg) {
+                        retry.push((src, r.message));
+                    }
+                }
+                pending_ref = retry;
+                skip.cycle();
+                reference.cycle_reference();
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+            // Drain phase: the skip loop jumps quiet windows, the reference
+            // ticks through them.
+            run_until_idle_skipping(&mut skip, 10_000);
+            let mut ticks = 0;
+            while reference.in_flight() > 0 {
+                reference.cycle_reference();
+                ticks += 1;
+                assert!(ticks < 10_000);
+            }
+            // The skip network's clock may be *behind* the reference's only
+            // because the reference kept ticking after the last delivery in
+            // this loop shape; align by advancing the skip network over the
+            // now all-quiet window — the golden part of this test: nothing
+            // but the cycle counter may change.
+            let before = skip.stats().clone();
+            skip.advance_to(reference.current_cycle());
+            assert_eq!(skip.current_cycle(), reference.current_cycle());
+            assert_eq!(
+                NocStats {
+                    cycles: reference.current_cycle(),
+                    ..before
+                },
+                *skip.stats(),
+                "advance_to changed a statistic other than cycles on {topology:?}"
+            );
+            assert_eq!(skip.stats(), reference.stats(), "stats diverged on {topology:?}");
+            assert_eq!(skip.router_utilization(), reference.router_utilization());
+            assert_eq!(skip.flits_per_router(), reference.flits_per_router());
+            // Same deliveries, message for message.
+            for tile in 0..16 {
+                loop {
+                    let a = skip.pop_delivered(tile);
+                    let b = reference.pop_delivered(tile);
+                    assert_eq!(
+                        a.as_ref().map(|m| m.payload().to_vec()),
+                        b.as_ref().map(|m| m.payload().to_vec())
+                    );
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            assert!(skip.is_idle() && reference.is_idle());
+        }
+    }
+
+    /// `advance_to` across a provably quiet window is exactly a cycle
+    /// counter jump: every other statistic, the buffered messages and the
+    /// eventual delivery schedule are untouched.
+    #[test]
+    fn advance_to_changes_no_stat_other_than_cycles() {
+        let mut skip = small_net(Topology::Torus);
+        let mut ticked = small_net(Topology::Torus);
+        for net in [&mut skip, &mut ticked] {
+            net.try_inject(0, Message::new(15, 0, vec![1, 2, 3])).unwrap();
+            // First hop committed; the 3-flit link serialization now opens a
+            // quiet window.
+            net.cycle();
+        }
+        let window_end = skip.next_event_cycle();
+        assert!(
+            window_end > skip.current_cycle(),
+            "serialization must open a skippable window"
+        );
+        let before = skip.stats().clone();
+        skip.advance_to(window_end);
+        assert_eq!(skip.current_cycle(), window_end);
+        assert_eq!(
+            NocStats { cycles: window_end, ..before },
+            *skip.stats(),
+            "advance_to changed a statistic other than cycles"
+        );
+        // Both engines finish with identical schedules and latency totals.
+        run_until_idle_skipping(&mut skip, 1000);
+        run_until_idle(&mut ticked, 1000);
+        skip.advance_to(ticked.current_cycle().max(skip.current_cycle()));
+        ticked.advance_to(skip.current_cycle());
+        assert_eq!(skip.stats(), ticked.stats());
+        assert_eq!(
+            skip.pop_delivered(15).unwrap().payload(),
+            ticked.pop_delivered(15).unwrap().payload()
+        );
+    }
+
+    /// A target beyond the next possible forward must be refused: skipping
+    /// over it would change the modelled schedule.
+    #[test]
+    #[should_panic(expected = "advance_to")]
+    fn advance_to_rejects_targets_beyond_the_event_horizon() {
+        let mut net = small_net(Topology::Torus);
+        net.try_inject(0, Message::new(15, 0, vec![1, 2])).unwrap();
+        // The injected message is forwardable immediately: no quiet window.
+        let bound = net.next_event_cycle();
+        net.advance_to(bound + 1);
+    }
+
+    /// The `u64::MAX` "no next event" sentinel is a blocked fabric waiting
+    /// for an endpoint drain, not a quiet window; jumping there must be
+    /// refused rather than corrupting the clock.
+    #[test]
+    #[should_panic(expected = "endpoint")]
+    fn advance_to_rejects_the_no_event_sentinel() {
+        let mut net = Network::new(
+            NocConfig::new(GridShape::new(2, 1), Topology::Mesh)
+                .with_channels(1)
+                .with_ejection_buffer_flits(2),
+        );
+        // Fill tile 1's only ejection buffer, then block a remote message
+        // on it: in-flight traffic exists but can never move again without
+        // a pop_delivered.
+        net.try_inject(1, Message::new(1, 0, vec![7, 8])).unwrap();
+        net.try_inject(0, Message::new(1, 0, vec![1, 2])).unwrap();
+        for _ in 0..4 {
+            net.cycle();
+        }
+        assert!(net.in_flight() > 0);
+        assert_eq!(net.next_event_cycle(), u64::MAX);
+        net.advance_to(u64::MAX);
     }
 
     /// Drives the same traffic through the event-driven cycle and the

@@ -113,6 +113,13 @@ pub(crate) struct Router {
     pub(crate) busy_covered_until: u64,
     /// Flits forwarded through each output port.
     pub(crate) flits_per_port: [u64; NUM_PORTS],
+    /// Set when some upstream message could not be forwarded because one of
+    /// this router's buffers was full.  The next pop from any of this
+    /// router's buffers (a forward out of it, or an endpoint drain) then
+    /// re-arms the network's next-event bound, because the freed space may
+    /// let that upstream message move.  Sticky until a pop: the blocked
+    /// upstream router re-asserts it on every scan while still blocked.
+    pub(crate) wake_on_pop: bool,
 }
 
 impl Router {
@@ -137,6 +144,7 @@ impl Router {
             busy_cycles: 0,
             busy_covered_until: 0,
             flits_per_port: [0; NUM_PORTS],
+            wake_on_pop: false,
         }
     }
 
@@ -214,10 +222,12 @@ impl Router {
     }
 
     /// Messages buffered at non-local ports — the ones
-    /// [`crate::Network::cycle`] could still move.  A router whose only
-    /// content is undrained ejection-buffer messages has nothing to forward
-    /// and can leave the active set.
-    #[inline]
+    /// [`crate::Network::cycle`] could still move.  Note the active-set
+    /// retention deliberately does *not* use this: a router holding only
+    /// undrained ejection-buffer messages forwards nothing, but it must
+    /// keep its position in the arbitration order (see the retention
+    /// comment in `Network::cycle`).
+    #[cfg(test)]
     pub(crate) fn forwardable_messages(&self) -> usize {
         self.buffered_messages - self.msgs_at(Port::Local) as usize
     }

@@ -14,6 +14,17 @@ use crate::kernel::{ArrayId, BootstrapContext, ChannelDecl, EpochContext, TaskCo
 use crate::placement::{ArraySpace, Placement};
 use crate::tile::{TileCsr, TileState};
 
+/// Converts a global index to the `u32` that travels in a message head (or
+/// is handed to a kernel), failing loudly when the dataset exceeds the
+/// 32-bit index space instead of silently truncating — a sweep over a
+/// ≥2³²-element array must abort, not corrupt indices.
+#[track_caller]
+fn index_to_u32(value: usize, what: &str) -> u32 {
+    u32::try_from(value).unwrap_or_else(|_| {
+        panic!("{what} {value} exceeds the 32-bit index space of the Dalorex message format")
+    })
+}
+
 /// Accumulates the cycle cost of the invocation currently executing.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct InvocationCost {
@@ -70,7 +81,10 @@ impl TaskContext for SimTaskContext<'_> {
     }
 
     fn global_vertex(&self, local: usize) -> u32 {
-        self.placement.to_global(ArraySpace::Vertex, self.tile.tile, local) as u32
+        index_to_u32(
+            self.placement.to_global(ArraySpace::Vertex, self.tile.tile, local),
+            "global vertex id",
+        )
     }
 
     fn barrier_mode(&self) -> bool {
@@ -176,15 +190,21 @@ impl TaskContext for SimTaskContext<'_> {
         self.tile.counters.edges_processed += n;
     }
 
-    fn split_edge_range(&mut self, begin: u32, end: u32) -> Vec<(usize, u32, u32)> {
-        // Computing each split point costs a couple of ALU operations.
-        let parts: Vec<(usize, u32, u32)> = self
-            .placement
-            .split_edge_range(begin as usize, end as usize)
-            .map(|(tile, b, e)| (tile, b as u32, e as u32))
-            .collect();
-        self.charge_alu(2 * parts.len().max(1) as u64);
-        parts
+    fn for_each_edge_part(&mut self, begin: u32, end: u32, part: &mut dyn FnMut(usize, u32, u32)) {
+        // Computing each split point costs a couple of ALU operations; the
+        // pieces are streamed to the callback so the hot path allocates
+        // nothing (the Vec-returning `split_edge_range` shim builds on
+        // this for the reference path and for kernels that want a Vec).
+        let mut parts = 0u64;
+        for (tile, b, e) in self.placement.split_edge_range(begin as usize, end as usize) {
+            parts += 1;
+            part(
+                tile,
+                index_to_u32(b, "edge range begin"),
+                index_to_u32(e, "edge range end"),
+            );
+        }
+        self.charge_alu(2 * parts.max(1));
     }
 }
 
@@ -221,7 +241,10 @@ impl BootstrapContext for SimBootstrapContext<'_> {
     }
 
     fn global_vertex(&self, local: usize) -> u32 {
-        self.placement.to_global(ArraySpace::Vertex, self.tile.tile, local) as u32
+        index_to_u32(
+            self.placement.to_global(ArraySpace::Vertex, self.tile.tile, local),
+            "global vertex id",
+        )
     }
 
     fn push_invocation(&mut self, task: TaskId, words: &[u32]) -> bool {
@@ -356,6 +379,45 @@ mod tests {
     }
 
     #[test]
+    fn edge_parts_stream_without_allocating_and_match_the_vec_shim() {
+        let (placement, csr, tasks, channels, arrays) = setup();
+        let mut tile = TileState::new(0, &placement, &tasks, &channels, &arrays, 2);
+        let mut ctx = SimTaskContext {
+            tile: &mut tile,
+            csr: &csr[0],
+            placement: &placement,
+            channels: &channels,
+            current_task: 0,
+            barrier_mode: false,
+            cost: InvocationCost::default(),
+        };
+        // edges_per_tile for 48 edges over 4 tiles is 12; [5, 30) spans
+        // three chunks.
+        let edges = ctx.num_local_edges() as u32;
+        assert!(edges > 0);
+        let mut streamed = Vec::new();
+        ctx.for_each_edge_part(5, 30, &mut |tile, b, e| streamed.push((tile, b, e)));
+        let cost_streamed = ctx.cost.cycles;
+        let materialized = ctx.split_edge_range(5, 30);
+        assert_eq!(streamed, materialized);
+        assert!(!streamed.is_empty());
+        // Pieces tile the range back-to-back and stay within one owner each.
+        assert_eq!(streamed.first().unwrap().1, 5);
+        assert_eq!(streamed.last().unwrap().2, 30);
+        for pair in streamed.windows(2) {
+            assert_eq!(pair[0].2, pair[1].1);
+        }
+        // Both forms charge the same ALU cost per piece.
+        assert_eq!(ctx.cost.cycles, 2 * cost_streamed);
+        // An empty range still charges the minimum probe cost and streams
+        // nothing.
+        let mut none = 0;
+        ctx.for_each_edge_part(7, 7, &mut |_, _, _| none += 1);
+        assert_eq!(none, 0);
+        assert_eq!(ctx.cost.cycles, 2 * cost_streamed + 2);
+    }
+
+    #[test]
     fn task_context_send_respects_capacity() {
         let (placement, csr, tasks, channels, arrays) = setup();
         let mut tile = TileState::new(1, &placement, &tasks, &channels, &arrays, 0);
@@ -399,6 +461,15 @@ mod tests {
         assert_eq!(ctx.num_local_vertices(), 4);
         assert_eq!(tile.iqs()[0].len(), 1);
         assert_eq!(tile.vars[0], 3);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit index space")]
+    fn oversized_indices_fail_loudly_instead_of_truncating() {
+        // Graphs with >= 2^32 vertices/edges must abort the sweep with a
+        // diagnosable error, not silently corrupt wrapped indices.
+        let _ = index_to_u32(1usize << 33, "global vertex id");
     }
 
     #[test]

@@ -130,6 +130,55 @@ impl HotTile {
     }
 }
 
+/// The earliest future cycle at which a tile in state `h` could act — or
+/// otherwise observably change the engine's state — without an external
+/// wake (a delivery, or its router draining a buffer; both only happen on
+/// cycles some *other* event already forces the engine to simulate).
+///
+/// * An undrained delivery must be retried next cycle.
+/// * A ready task dispatches as soon as the PU frees (`pu_busy_until`).
+/// * A tile with queued words but nothing dispatchable or injectable is
+///   inert: only an external wake changes it (fully parked injections are
+///   in this class — their per-skipped-cycle rejections are accounted in
+///   bulk when the skip commits).
+/// * An empty busy-PU tile times out of the active set at `pu_busy_until`,
+///   which can trigger the global-idle epoch check — an event the skip
+///   must not jump past.
+///
+/// Callers pass the cycle the tile was just simulated at; the returned
+/// event is always strictly later.
+fn tile_next_event(h: &HotTile, now: u64) -> u64 {
+    if h.delivery_pending {
+        return now + 1;
+    }
+    if h.task_ready {
+        return h.pu_busy_until.max(now + 1);
+    }
+    if h.queued {
+        return u64::MAX;
+    }
+    if h.pu_busy_until > now + 1 {
+        return h.pu_busy_until;
+    }
+    u64::MAX
+}
+
+/// Which engine drives the run: the skip-to-next-event hot path, the same
+/// hot path ticking every cycle, or the preserved pre-overhaul oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineMode {
+    /// Allocation-free tile path plus whole-chip cycle skipping: provably
+    /// event-free stretches are jumped in O(active tiles) instead of being
+    /// ticked one cycle at a time ([`Simulation::run`]).
+    Skip,
+    /// Allocation-free tile path, one `Network::cycle` per simulated cycle
+    /// ([`Simulation::run_ticked`] — the PR 3 engine, kept as the
+    /// tick-every-cycle baseline the skip microbench measures against).
+    Tick,
+    /// Pre-overhaul tile path ([`Simulation::run_reference`]).
+    Reference,
+}
+
 /// Per-tile injection parking state (fast path only).  A channel whose
 /// injection the router rejected stays parked until the router's drain
 /// version moves — until then every retry is guaranteed to fail
@@ -236,10 +285,18 @@ impl Simulation {
 
     /// Runs `kernel` to completion and returns the outcome.
     ///
-    /// This drives the allocation-free tile path: ring-buffer queue reads,
+    /// This drives the allocation-free tile path — ring-buffer queue reads,
     /// inline message payloads, O(1) idle checks and the incrementally
-    /// maintained readiness masks.  The schedule is cycle-exact identical
-    /// to [`Simulation::run_reference`].
+    /// maintained readiness masks — under the **skip-to-next-event** cycle
+    /// engine: whenever neither the network (per
+    /// `Network::next_event_cycle`) nor any active tile (pending delivery,
+    /// dispatchable or soon-dispatchable task, unparked injectable message)
+    /// can act before some future cycle, the engine jumps straight to that
+    /// cycle, replaying the skipped no-op cycles' only observable effect
+    /// (parked channels' per-cycle injection rejections and tiles timing
+    /// out of the active set) in O(active tiles).  The modelled schedule
+    /// and every statistic are cycle-exact identical to
+    /// [`Simulation::run_ticked`] and [`Simulation::run_reference`].
     ///
     /// # Errors
     ///
@@ -249,7 +306,22 @@ impl Simulation {
     /// [`SimError::UnknownKernelResource`] if the kernel's declared output
     /// arrays do not exist.
     pub fn run(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
-        self.run_with(kernel, false)
+        self.run_with(kernel, EngineMode::Skip)
+    }
+
+    /// Runs `kernel` on the allocation-free tile path while ticking every
+    /// cycle — [`Simulation::run`] without the skip-to-next-event engine.
+    ///
+    /// This is the PR 3 engine, kept so the `sim_microbench` skip pair can
+    /// measure the cycle-skipping speedup in isolation and so equivalence
+    /// tests can pin all three engines (skip, tick, reference) against each
+    /// other.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_ticked(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
+        self.run_with(kernel, EngineMode::Tick)
     }
 
     /// Runs `kernel` on the preserved pre-overhaul tile path — the
@@ -270,10 +342,12 @@ impl Simulation {
     ///
     /// Same as [`Simulation::run`].
     pub fn run_reference(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
-        self.run_with(kernel, true)
+        self.run_with(kernel, EngineMode::Reference)
     }
 
-    fn run_with(&self, kernel: &dyn Kernel, reference: bool) -> Result<SimOutcome, SimError> {
+    fn run_with(&self, kernel: &dyn Kernel, mode: EngineMode) -> Result<SimOutcome, SimError> {
+        let reference = mode == EngineMode::Reference;
+        let skip_engine = mode == EngineMode::Skip;
         let tasks = kernel.tasks();
         let channels = kernel.channels();
         let arrays = kernel.arrays();
@@ -331,6 +405,10 @@ impl Simulation {
 
         let mut cycle: u64 = 0;
         let mut epochs: u64 = 0;
+        // Epoch broadcasts advance the engine clock without ticking the
+        // network, so the network's counter runs behind the engine cycle by
+        // this accumulated offset; skip targets must be translated.
+        let mut epoch_offset: u64 = 0;
         let mut last_progress_marker = (0u64, 0u64);
         let mut last_progress_cycle = 0u64;
         let mut total_dispatches = 0u64;
@@ -351,6 +429,7 @@ impl Simulation {
                     EpochDecision::Continue => {
                         epochs += 1;
                         cycle += self.config.epoch_broadcast_cycles;
+                        epoch_offset += self.config.epoch_broadcast_cycles;
                         for tile in woken {
                             // The epoch trigger pushed invocations outside
                             // tile_cycle: refresh the action snapshot.
@@ -391,7 +470,10 @@ impl Simulation {
             }
 
             // Advance every active tile, double-buffering the active list
-            // through a persistent scratch vector.
+            // through a persistent scratch vector.  Alongside, accumulate
+            // the earliest cycle at which any tile could act again — the
+            // tile half of the skip-to-next-event decision below.
+            let mut tile_event_min = u64::MAX;
             debug_assert!(active_scratch.is_empty());
             std::mem::swap(&mut active_list, &mut active_scratch);
             for &t in &active_scratch {
@@ -440,6 +522,9 @@ impl Simulation {
                         active[t] = true;
                         active_list.push(t);
                     }
+                    if skip_engine {
+                        tile_event_min = tile_event_min.min(tile_next_event(&h, cycle));
+                    }
                     continue;
                 }
                 self.tile_cycle(
@@ -460,6 +545,18 @@ impl Simulation {
                 if !tiles[t].is_idle(cycle + 1) || leftover_deliveries {
                     active[t] = true;
                     active_list.push(t);
+                }
+                if skip_engine {
+                    let ran_event = if leftover_deliveries
+                        || (hot[t].cq_ready && !parks[t].all_ready_parked)
+                    {
+                        // Undrained deliveries or an unparked injectable
+                        // message: the tile must act again next cycle.
+                        cycle + 1
+                    } else {
+                        tile_next_event(&hot[t], cycle)
+                    };
+                    tile_event_min = tile_event_min.min(ran_event);
                 }
             }
             active_scratch.clear();
@@ -487,6 +584,74 @@ impl Simulation {
                     network_messages: network.in_flight() + network.awaiting_ejection(),
                     queued_invocations: queued,
                 });
+            }
+
+            // Skip to the next event.  When neither the network (its bound
+            // proves no forward can commit earlier) nor any active tile can
+            // act before `target`, every cycle in `[cycle, target)` is a
+            // no-op whose only observable effects are (a) fully parked
+            // channels failing one injection attempt per cycle and (b) empty
+            // busy-PU tiles timing out of the active set — both replayed
+            // here in O(active tiles).  Tiles keep their list positions, so
+            // the service order of acting tiles — and with it the schedule
+            // and every statistic — is exactly the ticked engines'.
+            if mode == EngineMode::Skip && !(active_list.is_empty() && network.is_idle()) {
+                // The network bound is in network time (its counter lags the
+                // engine cycle by the accumulated epoch-broadcast offset);
+                // translate it before comparing with the tile events.
+                let network_event = network.next_event_cycle().saturating_add(epoch_offset);
+                let target = network_event.min(tile_event_min);
+                // Clamp to the failure horizons so the cycle-limit and
+                // watchdog errors fire at the same cycle as when ticking.
+                let deadline = last_progress_cycle + self.config.watchdog_cycles + 1;
+                let stop = target.min(self.config.max_cycles).min(deadline);
+                if stop > cycle {
+                    let span = stop - cycle;
+                    let mut kept = 0;
+                    for i in 0..active_list.len() {
+                        let t = active_list[i];
+                        let h = hot[t];
+                        debug_assert!(
+                            !h.delivery_pending,
+                            "a pending delivery forces an event at the current cycle"
+                        );
+                        if h.cq_ready {
+                            // Every inject-ready channel is parked (an
+                            // unparked one would have forced an event now);
+                            // the ticked engines attempt and fail each once
+                            // per cycle.
+                            let owed = span * u64::from(parks[t].ready_count);
+                            if owed > 0 {
+                                network.count_injection_backpressure(t, owed);
+                            }
+                        }
+                        if h.queued || h.pu_busy_until > stop {
+                            active_list[kept] = t;
+                            kept += 1;
+                        } else {
+                            active[t] = false;
+                        }
+                    }
+                    active_list.truncate(kept);
+                    network.advance_to(stop - epoch_offset);
+                    cycle = stop;
+                    if cycle >= self.config.max_cycles {
+                        return Err(SimError::CycleLimitExceeded {
+                            limit: self.config.max_cycles,
+                        });
+                    }
+                    if cycle - last_progress_cycle > self.config.watchdog_cycles {
+                        let queued: u64 = tiles
+                            .iter()
+                            .map(|t| t.iqs().iter().map(|q| q.len() as u64).sum::<u64>())
+                            .sum();
+                        return Err(SimError::Deadlock {
+                            cycle,
+                            network_messages: network.in_flight() + network.awaiting_ejection(),
+                            queued_invocations: queued,
+                        });
+                    }
+                }
             }
         }
 

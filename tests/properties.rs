@@ -266,6 +266,99 @@ proptest! {
     }
 
     #[test]
+    fn skip_drive_loop_matches_reference_on_random_traffic(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..80),
+        torus in proptest::bool::ANY,
+    ) {
+        // The skip-to-next-event drive loop (advance_to the network's next
+        // event, then cycle) against the pre-overhaul cycle_reference
+        // ticking every cycle, on arbitrary traffic: messages are conserved
+        // (each delivered exactly once), both reach quiescence, and every
+        // statistic — including the total latency and the modelled cycle
+        // count — is identical.  Ejection buffers are sized to hold all
+        // traffic so the endpoints never interleave pops mid-flight (pop
+        // timing is the tile engine's concern, pinned by the
+        // tile_path_equivalence suite).
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let config = NocConfig::new(GridShape::new(4, 4), topology)
+            .with_ejection_buffer_flits(1024);
+        let mut skip = Network::new(config.clone());
+        let mut reference = Network::new(config);
+        let mut expected = vec![0u32; 16];
+        let mut pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                expected[dst] += 1;
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let mut pending_ref = pending.clone();
+        // Injection phase: both tick cycle by cycle with identical retries,
+        // so every attempt (and rejection statistic) lines up.
+        let mut guard = 0;
+        while !pending.is_empty() || !pending_ref.is_empty() {
+            let mut retry = Vec::new();
+            for (src, msg) in pending.drain(..) {
+                if let Err(rejected) = skip.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending = retry;
+            let mut retry = Vec::new();
+            for (src, msg) in pending_ref.drain(..) {
+                if let Err(rejected) = reference.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending_ref = retry;
+            skip.cycle();
+            reference.cycle_reference();
+            guard += 1;
+            prop_assert!(guard < 20_000, "injection never completed");
+        }
+        // Drain phase: the skip loop jumps every provably quiet window.
+        let mut steps = 0;
+        while skip.in_flight() > 0 {
+            let bound = skip.next_event_cycle();
+            prop_assert!(bound < u64::MAX, "in-flight traffic must have a next event");
+            skip.advance_to(bound);
+            skip.cycle();
+            steps += 1;
+            prop_assert!(steps < 100_000, "skip loop never drained");
+        }
+        let mut ticks = 0;
+        while reference.in_flight() > 0 {
+            reference.cycle_reference();
+            ticks += 1;
+            prop_assert!(ticks < 100_000, "reference never drained");
+        }
+        prop_assert_eq!(skip.current_cycle(), reference.current_cycle());
+        prop_assert_eq!(skip.stats(), reference.stats());
+        prop_assert_eq!(
+            skip.stats().total_latency_cycles,
+            reference.stats().total_latency_cycles
+        );
+        prop_assert_eq!(skip.flits_per_router(), reference.flits_per_router());
+        // Conservation: every message delivered exactly once, identically.
+        let mut received = vec![0u32; 16];
+        for (tile, count) in received.iter_mut().enumerate() {
+            loop {
+                let a = skip.pop_delivered(tile);
+                let b = reference.pop_delivered(tile);
+                prop_assert_eq!(
+                    a.as_ref().map(|m| m.payload().to_vec()),
+                    b.as_ref().map(|m| m.payload().to_vec())
+                );
+                let Some(msg) = a else { break };
+                prop_assert_eq!(msg.dest(), tile);
+                *count += 1;
+            }
+        }
+        prop_assert_eq!(received, expected);
+        prop_assert!(skip.is_idle() && reference.is_idle());
+    }
+
+    #[test]
     fn simulated_bfs_and_sssp_match_references_on_arbitrary_graphs(
         graph in arb_graph(150, 3),
         interleaved in proptest::bool::ANY,

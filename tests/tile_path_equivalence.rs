@@ -1,18 +1,21 @@
-//! Schedule-equivalence tests for the allocation-free tile path.
+//! Schedule-equivalence tests for the allocation-free tile path and the
+//! skip-to-next-event cycle engine.
 //!
 //! `Simulation::run` drives the overhauled per-cycle tile path (ring-buffer
 //! queues, inline message payloads, O(1) idle tracking, incrementally
-//! maintained readiness masks, parked-injection elision);
-//! `Simulation::run_reference` drives the preserved pre-overhaul path.  The
-//! two must be *indistinguishable* — cycle counts, gathered outputs, every
-//! tile counter and every NoC statistic (including the per-tile injection
-//! rejections the parked-channel elision reconstructs instead of
+//! maintained readiness masks, parked-injection elision) under the
+//! skip-to-next-event engine; `Simulation::run_ticked` drives the same
+//! tile path while ticking every cycle; `Simulation::run_reference` drives
+//! the preserved pre-overhaul path.  The three must be *indistinguishable*
+//! — cycle counts, gathered outputs, every tile counter and every NoC
+//! statistic (including the per-tile injection rejections the
+//! parked-channel elision and the bulk skip-replay reconstruct instead of
 //! re-attempting) — across every topology, placement and scheduling
 //! policy, in barrierless and barrier mode, and at wider endpoint-drain
 //! budgets.
 //!
 //! A small golden table additionally pins absolute cycle counts for
-//! non-default configurations, so both paths drifting *together* (a bug in
+//! non-default configurations, so all paths drifting *together* (a bug in
 //! shared machinery) still fails loudly.
 
 use dalorex::baseline::Workload;
@@ -24,17 +27,20 @@ use dalorex::sim::{Simulation, VertexPlacement};
 
 fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> u64 {
     let kernel = workload.kernel();
-    let fast = sim.run(kernel.as_ref()).unwrap();
+    let skip = sim.run(kernel.as_ref()).unwrap();
+    let ticked = sim.run_ticked(kernel.as_ref()).unwrap();
     let reference = sim.run_reference(kernel.as_ref()).unwrap();
-    assert_eq!(fast.cycles, reference.cycles, "{label}: cycles diverged");
-    assert_eq!(fast.output, reference.output, "{label}: outputs diverged");
-    assert_eq!(fast.stats, reference.stats, "{label}: statistics diverged");
-    assert_eq!(
-        fast.total_energy_j(),
-        reference.total_energy_j(),
-        "{label}: energy diverged"
-    );
-    fast.cycles
+    for (fast, against) in [(&skip, &reference), (&skip, &ticked)] {
+        assert_eq!(fast.cycles, against.cycles, "{label}: cycles diverged");
+        assert_eq!(fast.output, against.output, "{label}: outputs diverged");
+        assert_eq!(fast.stats, against.stats, "{label}: statistics diverged");
+        assert_eq!(
+            fast.total_energy_j(),
+            against.total_energy_j(),
+            "{label}: energy diverged"
+        );
+    }
+    skip.cycles
 }
 
 fn graph() -> CsrGraph {
@@ -102,16 +108,25 @@ fn fast_path_matches_reference_for_every_workload() {
 fn fast_path_matches_reference_at_wider_endpoint_budgets() {
     // The drain/inject budget interacts with the parked-channel rejection
     // accounting (channels beyond the budget's break point accrue no
-    // rejection), so sweep it explicitly.
+    // rejection) and with how much the skip engine can jump (wider
+    // endpoints change the back-pressure pattern), so sweep budget ×
+    // topology explicitly.
     let graph = graph();
     for drains in [1usize, 2, 4] {
-        let config = SimConfigBuilder::new(GridConfig::square(4))
-            .scratchpad_bytes(1 << 20)
-            .endpoint_drains_per_cycle(drains)
-            .build()
-            .unwrap();
-        let sim = Simulation::new(config, &graph).unwrap();
-        assert_paths_identical(&sim, Workload::Sssp { root: 0 }, &format!("drains={drains}"));
+        for topology in [Topology::Mesh, Topology::Torus] {
+            let config = SimConfigBuilder::new(GridConfig::square(4))
+                .scratchpad_bytes(1 << 20)
+                .topology(topology)
+                .endpoint_drains_per_cycle(drains)
+                .build()
+                .unwrap();
+            let sim = Simulation::new(config, &graph).unwrap();
+            assert_paths_identical(
+                &sim,
+                Workload::Sssp { root: 0 },
+                &format!("drains={drains}/{topology:?}"),
+            );
+        }
     }
 }
 
