@@ -30,7 +30,7 @@ use crate::tesseract::{TesseractConfig, TesseractModel};
 use crate::workload::Workload;
 use dalorex_graph::CsrGraph;
 use dalorex_noc::Topology;
-use dalorex_sim::config::{BarrierMode, GridConfig, SchedulingPolicy, SimConfigBuilder};
+use dalorex_sim::config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfigBuilder};
 use dalorex_sim::{SimError, Simulation, VertexPlacement};
 
 /// One rung of the Figure-5 ablation ladder, in the paper's order.
@@ -136,6 +136,25 @@ pub fn run_rung(
     side: usize,
     scratchpad_bytes: usize,
 ) -> Result<AblationOutcome, SimError> {
+    run_rung_with_engine(rung, graph, workload, side, scratchpad_bytes, Engine::default())
+}
+
+/// Like [`run_rung`], with an explicit cycle engine for the Dalorex rungs
+/// (the Tesseract rungs are analytical and ignore it).  Every engine
+/// models the identical schedule; `fig05_ablation`'s `--engine` flag
+/// threads through here for A/B timing of the ladder.
+///
+/// # Errors
+///
+/// Same as [`run_rung`].
+pub fn run_rung_with_engine(
+    rung: AblationRung,
+    graph: &CsrGraph,
+    workload: Workload,
+    side: usize,
+    scratchpad_bytes: usize,
+    engine: Engine,
+) -> Result<AblationOutcome, SimError> {
     match rung {
         AblationRung::Tesseract => {
             let model = TesseractModel::new(TesseractConfig::paper_default().with_cores(side * side));
@@ -157,7 +176,7 @@ pub fn run_rung(
                 energy_j: outcome.total_energy_j(),
             })
         }
-        _ => run_dalorex_rung(rung, graph, workload, side, scratchpad_bytes),
+        _ => run_dalorex_rung(rung, graph, workload, side, scratchpad_bytes, engine),
     }
 }
 
@@ -167,6 +186,7 @@ fn run_dalorex_rung(
     workload: Workload,
     side: usize,
     scratchpad_bytes: usize,
+    engine: Engine,
 ) -> Result<AblationOutcome, SimError> {
     // Feature switches accumulate as the ladder climbs.
     let non_interrupting = rung >= AblationRung::BasicTsu;
@@ -197,6 +217,7 @@ fn run_dalorex_rung(
             BarrierMode::EpochBarrier
         })
         .invocation_overhead_cycles(if non_interrupting { 0 } else { 50 })
+        .engine(engine)
         .build()?;
     let sim = Simulation::new(config, &prepared)?;
     let kernel = workload.kernel();

@@ -11,10 +11,42 @@ use dalorex_noc::message::Message;
 use dalorex_noc::network::Network;
 use dalorex_noc::topology::{GridShape, Topology};
 use dalorex_noc::NocConfig;
-use dalorex_sim::config::{GridConfig, SimConfigBuilder};
+use dalorex_sim::config::{Engine, GridConfig, SimConfigBuilder};
 use dalorex_sim::placement::{ArraySpace, Placement, VertexPlacement};
 use dalorex_sim::queues::WordQueue;
 use dalorex_sim::Simulation;
+
+/// The bench-binary counterpart of the figure binaries' `--engine` flag:
+/// when `cargo bench ... -- --engine=<name>` is passed, the end-to-end
+/// simulation benches run only that engine's rung, so one engine can be
+/// timed in isolation (the NoC-only benches are unaffected).  Only the
+/// `=`-joined form is accepted here: with the space-separated form the
+/// value would double as the criterion harness's positional benchmark
+/// name *filter* (silently restricting the bench set to names containing
+/// the engine's name), so that form is rejected loudly.  Parsing is the
+/// shared [`dalorex_bench::cli::flag_value`], so flag syntax cannot
+/// drift from the figure binaries'.
+fn engine_flag() -> Option<Engine> {
+    if std::env::args().any(|a| a == "--engine") {
+        eprintln!(
+            "use --engine=<name> with cargo bench: in `--engine <name>` the value would \
+             also be taken as the positional benchmark-name filter"
+        );
+        std::process::exit(2);
+    }
+    let value = dalorex_bench::cli::flag_value("engine")?;
+    match value.parse() {
+        Ok(engine) => Some(engine),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn engine_selected(engine: Engine) -> bool {
+    engine_flag().map(|chosen| chosen == engine).unwrap_or(true)
+}
 
 fn bench_rmat_generation(c: &mut Criterion) {
     c.bench_function("rmat_scale10_generation", |b| {
@@ -206,15 +238,57 @@ fn bench_sim_tile_path_64x64(c: &mut Criterion) {
     let sim = Simulation::new(config, &graph).unwrap();
     let mut group = c.benchmark_group("sim_64x64_sssp");
     group.sample_size(3);
-    group.bench_function("tile_path_incremental", |b| {
-        b.iter(|| black_box(sim.run(&SsspKernel::new(0)).unwrap().cycles))
-    });
-    group.bench_function("tile_path_ticked", |b| {
-        b.iter(|| black_box(sim.run_ticked(&SsspKernel::new(0)).unwrap().cycles))
-    });
-    group.bench_function("tile_path_reference_scan", |b| {
-        b.iter(|| black_box(sim.run_reference(&SsspKernel::new(0)).unwrap().cycles))
-    });
+    if engine_selected(Engine::Skip) {
+        group.bench_function("tile_path_incremental", |b| {
+            b.iter(|| black_box(sim.run(&SsspKernel::new(0)).unwrap().cycles))
+        });
+    }
+    if engine_selected(Engine::Ticked) {
+        group.bench_function("tile_path_ticked", |b| {
+            b.iter(|| black_box(sim.run_ticked(&SsspKernel::new(0)).unwrap().cycles))
+        });
+    }
+    if engine_selected(Engine::Reference) {
+        group.bench_function("tile_path_reference_scan", |b| {
+            b.iter(|| black_box(sim.run_reference(&SsspKernel::new(0)).unwrap().cycles))
+        });
+    }
+    group.finish();
+}
+
+/// The ISSUE-5 acceptance case: the calendar engine must sustain at least
+/// 1.3x the end-to-end cycles/sec of the skip engine on the dense middle
+/// of 64x64 SSSP — the regime where deliveries land nearly every cycle, so
+/// whole-chip skipping barely helps (~1.07x over ticking) and the
+/// full-network router scan dominates.  Both engines produce the identical
+/// modelled schedule (the four-engine equivalence square pins that), so
+/// per-iteration time is inversely proportional to cycles/sec; compare
+/// `sim_64x64_sssp_dense/engine_calendar` against `.../engine_skip`.
+fn bench_sim_calendar_64x64(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let (scale, side) = if bench_mode { (14, 64) } else { (10, 8) };
+    let graph = RmatConfig::new(scale, 8).seed(11).build().unwrap();
+    let config = SimConfigBuilder::new(GridConfig::square(side))
+        .scratchpad_bytes(1 << 20)
+        .build()
+        .unwrap();
+    let sim = Simulation::new(config, &graph).unwrap();
+    let mut group = c.benchmark_group("sim_64x64_sssp_dense");
+    group.sample_size(3);
+    for engine in [Engine::Calendar, Engine::Skip] {
+        if !engine_selected(engine) {
+            continue;
+        }
+        group.bench_function(format!("engine_{}", engine.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    sim.run_with_engine(&SsspKernel::new(0), engine)
+                        .unwrap()
+                        .cycles,
+                )
+            })
+        });
+    }
     group.finish();
 }
 
@@ -227,6 +301,7 @@ criterion_group!(
     bench_noc_uniform_traffic,
     bench_noc_cycle_64x64,
     bench_noc_skip_64x64,
-    bench_sim_tile_path_64x64
+    bench_sim_tile_path_64x64,
+    bench_sim_calendar_64x64
 );
 criterion_main!(benches);

@@ -12,11 +12,13 @@
 //! cargo run -p dalorex-bench --release --bin area_report [-- --csv]
 //! ```
 
+use dalorex_bench::cli::FigureCli;
 use dalorex_bench::report::Table;
 use dalorex_noc::Topology;
 use dalorex_sim::area::{AreaConstants, AreaModel};
 
 fn main() {
+    let cli = FigureCli::parse();
     let tile_bytes = (4.2 * 1024.0 * 1024.0) as usize;
     let mut table = Table::new(vec![
         "configuration",
@@ -47,5 +49,8 @@ fn main() {
         ]);
     }
 
-    table.print("Section V-A area and power density (paper: ~305 mm2, < 300 mW/mm2; Tesseract aggregate ~3616 mm2)");
+    table.print(
+        "Section V-A area and power density (paper: ~305 mm2, < 300 mW/mm2; Tesseract aggregate ~3616 mm2)",
+        cli.csv,
+    );
 }

@@ -5,7 +5,8 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p dalorex-bench --release --bin fig05_ablation [-- --csv] [-- --geomean]
+//! cargo run -p dalorex-bench --release --bin fig05_ablation -- \
+//!     [--csv] [--geomean] [--engine <name>]
 //! ```
 //!
 //! The paper's headline numbers derived from this figure are the compounded
@@ -13,8 +14,9 @@
 //! 1.8x -> 221x; energy -> 325x); pass `--geomean` (default on) to print
 //! the reproduction's factors next to the paper's.
 
-use dalorex_baseline::ablation::{geomean, run_rung, AblationOutcome, AblationRung};
+use dalorex_baseline::ablation::{geomean, run_rung_with_engine, AblationOutcome, AblationRung};
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
 use dalorex_bench::report::{format_factor, Table};
 use dalorex_graph::datasets::DatasetLabel;
@@ -30,6 +32,7 @@ fn grid_side() -> usize {
 }
 
 fn main() {
+    let cli = FigureCli::parse();
     let side = grid_side();
     let workloads = Workload::figure5_set();
     let labels = DatasetLabel::figure5_set();
@@ -49,7 +52,9 @@ fn main() {
             let mut baseline: Option<AblationOutcome> = None;
             let mut previous: Option<AblationOutcome> = None;
             for rung in AblationRung::ALL {
-                let outcome = match run_rung(rung, &graph, workload, side, scratchpad) {
+                let outcome = match run_rung_with_engine(
+                    rung, &graph, workload, side, scratchpad, cli.engine,
+                ) {
                     Ok(outcome) => outcome,
                     Err(err) => {
                         eprintln!(
@@ -97,12 +102,14 @@ fn main() {
         }
     }
 
-    perf.print(&format!(
-        "Figure 5 (top): performance improvement over Tesseract, {side}x{side} tiles"
-    ));
-    energy.print(&format!(
-        "Figure 5 (bottom): energy improvement over Tesseract, {side}x{side} tiles"
-    ));
+    perf.print(
+        &format!("Figure 5 (top): performance improvement over Tesseract, {side}x{side} tiles"),
+        cli.csv,
+    );
+    energy.print(
+        &format!("Figure 5 (bottom): energy improvement over Tesseract, {side}x{side} tiles"),
+        cli.csv,
+    );
 
     // Section V-A compound factors.
     let mut ladder = Table::new(vec!["step", "paper (perf)", "measured (perf)", "paper (energy)", "measured (energy)"]);
@@ -174,5 +181,9 @@ fn main() {
                 .unwrap_or(&[]),
         )),
     ]);
-    ladder.print("Section V-A: compounded geomean improvement factors (plus the beyond-paper wide-endpoint step)");
+    ladder.print(
+        "Section V-A: compounded geomean improvement factors (plus the beyond-paper wide-endpoint step)",
+        cli.csv,
+    );
+    cli.report_wall_clock();
 }

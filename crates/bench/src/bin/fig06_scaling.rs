@@ -7,26 +7,28 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig06_scaling -- \
-//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>]
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>] [--engine <name>]
 //! ```
 //!
 //! `--max-side` overrides `DALOREX_MAX_SIDE` (32 or 64 reach the paper's
 //! 32x32 and 64x64 grids), and `--drains` sweeps the endpoint bandwidth
 //! (messages drained/injected per tile per cycle).  Measurements, including
 //! the drain budget and the NoC's injection-rejection count, are written by
-//! `--json <path>`.
+//! `--json <path>`.  `--engine <reference|ticked|skip|calendar>` selects
+//! the cycle engine for A/B wall-clock timing (the figures themselves are
+//! engine-independent).
 
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{
-    drains_flag, max_side_flag, write_json_if_requested, Measurement, Table,
-};
+use dalorex_bench::report::{Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 
 fn main() {
-    let max_side = max_side_flag().unwrap_or_else(datasets::max_grid_side);
-    let drains_sweep = drains_flag();
+    let cli = FigureCli::parse();
+    let max_side = cli.max_side.unwrap_or_else(datasets::max_grid_side);
+    let drains_sweep = cli.drains();
     let labels = DatasetLabel::figure6_set();
     let workload = Workload::Bfs { root: 0 };
 
@@ -60,7 +62,9 @@ fn main() {
             for &drains in &drains_sweep {
                 let tiles = side * side;
                 let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
-                let options = RunOptions::new(side, scratchpad).with_endpoint_drains(drains);
+                let options = RunOptions::new(side, scratchpad)
+                    .with_endpoint_drains(drains)
+                    .with_engine(cli.engine);
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {
@@ -116,9 +120,14 @@ fn main() {
         }
     }
 
-    table.print("Figure 6: BFS strong scaling on RMAT datasets (runtime and energy)");
+    table.print(
+        "Figure 6: BFS strong scaling on RMAT datasets (runtime and energy)",
+        cli.csv,
+    );
     knees.print(
         "Section V-B knees (computed from the drains=1 rows, the paper's endpoint bandwidth): paper reports the parallelization limit near ~1k vertices/tile and the energy optimum near ~10k vertices/tile",
+        cli.csv,
     );
-    write_json_if_requested(&measurements);
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
 }

@@ -5,7 +5,7 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig07_throughput -- \
-//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>]
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>] [--engine <name>]
 //! ```
 //!
 //! `--max-side` overrides `DALOREX_MAX_SIDE` (set it to 32 or 64 to sweep
@@ -13,19 +13,22 @@
 //! bandwidth (messages drained/injected per tile per cycle; default 1, the
 //! paper's single local router port).  The drain budget and the NoC's
 //! injection-rejection count are emitted into the JSON report.
+//! `--engine <reference|ticked|skip|calendar>` selects the cycle engine —
+//! the tables are engine-independent, so run the sweep twice with
+//! different engines and compare the stderr wall-clock lines to A/B them.
 
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{
-    drains_flag, max_side_flag, write_json_if_requested, Measurement, Table,
-};
+use dalorex_bench::report::{Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_sim::energy::EnergyConstants;
 
 fn main() {
-    let max_side = max_side_flag().unwrap_or_else(datasets::max_grid_side);
-    let drains_sweep = drains_flag();
+    let cli = FigureCli::parse();
+    let max_side = cli.max_side.unwrap_or_else(datasets::max_grid_side);
+    let drains_sweep = cli.drains();
     // The paper scales RMAT-26; the catalog reduces it while keeping it the
     // largest dataset of the suite.
     let label = DatasetLabel::Rmat(26);
@@ -50,7 +53,9 @@ fn main() {
             for &drains in &drains_sweep {
                 let tiles = side * side;
                 let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
-                let options = RunOptions::new(side, scratchpad).with_endpoint_drains(drains);
+                let options = RunOptions::new(side, scratchpad)
+                    .with_endpoint_drains(drains)
+                    .with_engine(cli.engine);
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {
@@ -83,9 +88,13 @@ fn main() {
         }
     }
 
-    table.print(&format!(
-        "Figure 7: throughput and memory bandwidth scaling ({} at reproduction scale)",
-        label.as_str()
-    ));
-    write_json_if_requested(&measurements);
+    table.print(
+        &format!(
+            "Figure 7: throughput and memory bandwidth scaling ({} at reproduction scale)",
+            label.as_str()
+        ),
+        cli.csv,
+    );
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
 }

@@ -5,8 +5,11 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig08_noc -- \
-//!     [--csv] [--json <path>] [--drains <a,b,...>]
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>] [--engine <name>]
 //! ```
+//!
+//! `--max-side` overrides `DALOREX_MAX_SIDE` for the RMAT-26 grid (the
+//! other datasets run at a quarter of it, floored at 4, as in the paper).
 //!
 //! Topology only differentiates once the fabric, not the endpoint, is the
 //! bottleneck — at one message per tile per cycle the single local router
@@ -19,16 +22,15 @@
 //! table and in the `--json` measurements, like fig06/fig07.
 
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::{FigureCli, FABRIC_BOUND_DRAINS};
 use dalorex_bench::datasets;
-use dalorex_bench::report::{
-    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
-};
+use dalorex_bench::report::{Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
 
-
 fn main() {
+    let cli = FigureCli::parse();
     let labels = [
         DatasetLabel::Wikipedia,
         DatasetLabel::LiveJournal,
@@ -40,8 +42,8 @@ fn main() {
         Topology::Torus,
         Topology::TorusRuche { factor: 4 },
     ];
-    let max_side = datasets::max_grid_side();
-    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
+    let max_side = cli.max_side.unwrap_or_else(datasets::max_grid_side);
+    let drains_sweep = cli.drains_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut table = Table::new(vec![
         "app",
@@ -70,7 +72,8 @@ fn main() {
                 for topology in topologies {
                     let options = RunOptions::new(side, scratchpad)
                         .with_topology(topology)
-                        .with_endpoint_drains(drains);
+                        .with_endpoint_drains(drains)
+                        .with_engine(cli.engine);
                     let outcome = match run_dalorex(&graph, workload, options) {
                         Ok(outcome) => outcome,
                         Err(err) => {
@@ -110,6 +113,10 @@ fn main() {
         }
     }
 
-    table.print("Figure 8: Torus and Torus-Ruche performance improvement over Mesh (fabric-bound endpoint budget)");
-    write_json_if_requested(&measurements);
+    table.print(
+        "Figure 8: Torus and Torus-Ruche performance improvement over Mesh (fabric-bound endpoint budget)",
+        cli.csv,
+    );
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
 }

@@ -5,8 +5,11 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig09_energy_breakdown -- \
-//!     [--csv] [--json <path>] [--drains <a,b,...>]
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>] [--engine <name>]
 //! ```
+//!
+//! `--max-side` overrides `DALOREX_MAX_SIDE` for the RMAT-26 grid (the
+//! other datasets run at a quarter of it, floored at 4, like `fig08_noc`).
 //!
 //! Like `fig08_noc`, the runs default to an endpoint budget of **2**
 //! drains/injections per tile per cycle so the breakdown reflects the
@@ -16,23 +19,22 @@
 //! every row is emitted in the table and in the `--json` measurements.
 
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::{FigureCli, FABRIC_BOUND_DRAINS};
 use dalorex_bench::datasets;
-use dalorex_bench::report::{
-    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
-};
+use dalorex_bench::report::{Measurement, Table};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 
-
 fn main() {
+    let cli = FigureCli::parse();
     let labels = [
         DatasetLabel::Wikipedia,
         DatasetLabel::LiveJournal,
         DatasetLabel::Rmat(22),
         DatasetLabel::Rmat(26),
     ];
-    let max_side = datasets::max_grid_side();
-    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
+    let max_side = cli.max_side.unwrap_or_else(datasets::max_grid_side);
+    let drains_sweep = cli.drains_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut table = Table::new(vec![
         "app",
@@ -56,8 +58,9 @@ fn main() {
             let graph = datasets::build(label);
             let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
             for &drains in &drains_sweep {
-                let options =
-                    RunOptions::new(side, scratchpad).with_endpoint_drains(drains);
+                let options = RunOptions::new(side, scratchpad)
+                    .with_endpoint_drains(drains)
+                    .with_engine(cli.engine);
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {
@@ -97,6 +100,8 @@ fn main() {
 
     table.print(
         "Figure 9: energy breakdown (logic / memory / network), % of total (endpoint budget per row in the drains column)",
+        cli.csv,
     );
-    write_json_if_requested(&measurements);
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
 }

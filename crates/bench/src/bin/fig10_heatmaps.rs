@@ -8,8 +8,13 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig10_heatmaps -- \
-//!     [--csv] [--json <path>] [--drains <a,b,...>]
+//!     [--csv] [--json <path>] [--max-side <n>] [--drains <a,b,...>] [--engine <name>]
 //! ```
+//!
+//! `--max-side` overrides `DALOREX_MAX_SIDE`, **clamped to 4..=16**: the
+//! heatmaps are printed one ASCII digit per tile, so larger grids would
+//! not fit a terminal (the paper's own Figure 10 is a 16x16 grid).  A
+//! clamped value is reported on stderr.
 //!
 //! Like `fig08_noc`, the runs default to an endpoint budget of **2**
 //! drains/injections per tile per cycle so the mesh-vs-torus contrast is
@@ -19,22 +24,25 @@
 //! summary table and in the `--json` measurements.
 
 use dalorex_baseline::Workload;
+use dalorex_bench::cli::{FigureCli, FABRIC_BOUND_DRAINS};
 use dalorex_bench::datasets;
-use dalorex_bench::report::{
-    drains_flag_or, write_json_if_requested, Measurement, Table, FABRIC_BOUND_DRAINS,
-};
+use dalorex_bench::report::{Measurement, Table};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
 use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
 use dalorex_sim::Simulation;
 
-
 fn main() {
-    let side = datasets::max_grid_side().clamp(4, 16);
+    let cli = FigureCli::parse();
+    let requested = cli.max_side.unwrap_or_else(datasets::max_grid_side);
+    let side = requested.clamp(4, 16);
+    if side != requested {
+        eprintln!("clamping grid side {requested} to {side} (ASCII heatmaps are one digit per tile)");
+    }
     let graph = datasets::build(DatasetLabel::Rmat(22));
     let workload = Workload::Sssp { root: 0 };
     let scratchpad = datasets::fitting_scratchpad_bytes(&graph, side * side);
-    let drains_sweep = drains_flag_or(&[FABRIC_BOUND_DRAINS]);
+    let drains_sweep = cli.drains_or(&[FABRIC_BOUND_DRAINS]);
 
     let mut summary = Table::new(vec![
         "topology",
@@ -53,6 +61,7 @@ fn main() {
                 .topology(topology)
                 .barrier_mode(BarrierMode::Barrierless)
                 .endpoint_drains_per_cycle(drains)
+                .engine(cli.engine)
                 .build()
                 .expect("valid configuration");
             let sim = Simulation::new(config, &graph).expect("dataset fits");
@@ -96,6 +105,8 @@ fn main() {
 
     summary.print(
         "Figure 10 summary: mesh concentrates load (higher variation), torus spreads it (endpoint budget per row in the drains column)",
+        cli.csv,
     );
-    write_json_if_requested(&measurements);
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
 }

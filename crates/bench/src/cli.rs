@@ -1,0 +1,202 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! Every `fig*` binary takes the same hand-rolled flags; this module owns
+//! them in one place so a new knob (like `--engine`) lands everywhere at
+//! once:
+//!
+//! * `--csv` — print tables as CSV instead of aligned text.
+//! * `--json <path>` — persist the run's [`crate::report::Measurement`]s.
+//! * `--max-side <n>` — cap of the grid sweep (overrides
+//!   `DALOREX_MAX_SIDE`).
+//! * `--drains <a,b,...>` — endpoint-bandwidth sweep (messages per tile
+//!   per cycle).
+//! * `--engine <reference|ticked|skip|calendar>` — the cycle engine to
+//!   drive every run with.  All engines model the identical schedule, so
+//!   the printed figures do not change; the flag exists for A/B *timing*
+//!   of the big sweeps (run the same figure twice with different engines
+//!   and compare the wall-clock line each binary prints on stderr).
+//!
+//! Parse once with [`FigureCli::parse`] at the top of `main`.
+
+use dalorex_sim::Engine;
+use std::time::Instant;
+
+/// Default endpoint budget (messages drained/injected per tile per cycle)
+/// for the figure binaries whose comparison must run *fabric-bound*:
+/// `fig08_noc`, `fig09_energy_breakdown` and `fig10_heatmaps` all pass
+/// `&[FABRIC_BOUND_DRAINS]` to [`FigureCli::drains_or`].  Two is the
+/// smallest budget at which the dense runs stop being serialized by the
+/// single local router port; retune it here, in one place, if larger
+/// grids ever move the knee.
+pub const FABRIC_BOUND_DRAINS: usize = 2;
+
+/// The figure binaries' common command-line flags, parsed once.
+#[derive(Debug, Clone)]
+pub struct FigureCli {
+    /// `--csv`: print CSV instead of aligned text.
+    pub csv: bool,
+    /// `--json <path>`: where to persist the measurements, if anywhere.
+    pub json: Option<String>,
+    /// `--max-side <n>`: sweep cap override, if given.
+    pub max_side: Option<usize>,
+    /// `--engine <name>`: the cycle engine every run uses (default
+    /// [`Engine::Skip`]).
+    pub engine: Engine,
+    drains: Option<Vec<usize>>,
+    started: Instant,
+}
+
+impl FigureCli {
+    /// Parses the common flags from the process arguments.  Invalid values
+    /// are reported on stderr and fall back to the defaults rather than
+    /// silently measuring the wrong configuration — except `--engine`,
+    /// where a typo aborts (an A/B timing run with the wrong engine is
+    /// exactly the silent mistake the flag exists to avoid).
+    pub fn parse() -> Self {
+        let engine = match flag_value("engine") {
+            None if std::env::args().any(|a| a == "--engine") => {
+                // The flag is present but its value is missing (or the next
+                // token is another flag): aborting beats silently timing
+                // the default engine under the wrong label.
+                eprintln!("--engine requires a value (reference, ticked, skip or calendar)");
+                std::process::exit(2);
+            }
+            None => Engine::default(),
+            Some(name) => match name.parse() {
+                Ok(engine) => engine,
+                Err(err) => {
+                    eprintln!("{err}");
+                    std::process::exit(2);
+                }
+            },
+        };
+        FigureCli {
+            csv: std::env::args().any(|a| a == "--csv"),
+            json: flag_value("json"),
+            max_side: max_side_flag(),
+            engine,
+            drains: drains_flag(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The `--drains` sweep, or `[1]` (the paper's single-port endpoint)
+    /// when the flag is absent.
+    pub fn drains(&self) -> Vec<usize> {
+        self.drains_or(&[1])
+    }
+
+    /// The `--drains` sweep, with a caller-chosen default for binaries
+    /// whose figure is not measured at the paper's single-port endpoint
+    /// (`fig08`/`fig09`/`fig10` default to [`FABRIC_BOUND_DRAINS`]).
+    pub fn drains_or(&self, default: &[usize]) -> Vec<usize> {
+        match &self.drains {
+            Some(sweep) => sweep.clone(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Writes `measurements` to the `--json` path, if one was given.  On a
+    /// write failure it reports the error and exits nonzero so that
+    /// pipelines like `fig07_throughput -- --json out.json && plot
+    /// out.json` do not proceed without the file.
+    pub fn write_json_if_requested(&self, measurements: &[crate::report::Measurement]) {
+        let Some(path) = &self.json else {
+            return;
+        };
+        match crate::report::write_json(path, measurements) {
+            Ok(()) => eprintln!("wrote {} measurements to {path}", measurements.len()),
+            Err(err) => {
+                eprintln!("failed to write JSON to {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Prints the engine + wall-clock line the `--engine` A/B workflow
+    /// compares, on stderr (the tables on stdout stay engine-independent
+    /// because the modelled schedule is).  Call at the end of `main`.
+    pub fn report_wall_clock(&self) {
+        eprintln!(
+            "engine: {} | wall-clock: {:.2?}",
+            self.engine,
+            self.started.elapsed()
+        );
+    }
+}
+
+/// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
+/// command line, if present.
+pub fn flag_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let assigned = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            // A following token that is itself a flag means the value was
+            // forgotten; surface that instead of consuming the other flag.
+            let value = args.next().filter(|v| !v.starts_with("--"));
+            if value.is_none() {
+                eprintln!("flag {flag} is missing its value");
+            }
+            return value;
+        }
+        if let Some(value) = arg.strip_prefix(&assigned) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
+/// Parses the `--drains <a,b,...>` flag into a sweep, if given.  Invalid
+/// or zero entries are dropped with a warning on stderr so a typo'd sweep
+/// never silently measures the wrong configurations; an entirely invalid
+/// list counts as absent.
+fn drains_flag() -> Option<Vec<usize>> {
+    let list = flag_value("drains")?;
+    let mut parsed = Vec::new();
+    for entry in list.split(',') {
+        match entry.trim().parse::<usize>() {
+            Ok(drains) if drains > 0 => parsed.push(drains),
+            _ => eprintln!("ignoring invalid --drains entry {entry:?} (want a positive integer)"),
+        }
+    }
+    if parsed.is_empty() {
+        None
+    } else {
+        Some(parsed)
+    }
+}
+
+/// Parses the `--max-side <n>` flag overriding the `DALOREX_MAX_SIDE`
+/// environment variable, so one invocation can push a sweep to 32x32 or
+/// 64x64 grids without touching the environment.  An unparsable value is
+/// reported on stderr rather than silently falling back to the default.
+fn max_side_flag() -> Option<usize> {
+    let value = flag_value("max-side")?;
+    match value.parse::<usize>() {
+        Ok(side) if side > 0 => Some(side),
+        _ => {
+            eprintln!("ignoring invalid --max-side value {value:?} (want a positive integer)");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_no_flags_are_passed() {
+        // The test harness never passes the figure flags.
+        let cli = FigureCli::parse();
+        assert!(!cli.csv);
+        assert_eq!(cli.json, None);
+        assert_eq!(cli.max_side, None);
+        assert_eq!(cli.engine, Engine::Skip);
+        assert_eq!(cli.drains(), vec![1]);
+        assert_eq!(cli.drains_or(&[FABRIC_BOUND_DRAINS]), vec![2]);
+        assert_eq!(flag_value("no-such-flag"), None);
+    }
+}

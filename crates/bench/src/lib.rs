@@ -23,24 +23,32 @@
 //! `--max-side <n>` (reach the paper's 32x32 / 64x64 grids in one
 //! invocation) and `--drains <a,b,...>` (sweep the endpoint bandwidth,
 //! messages per tile per cycle); the drain budget and the NoC's
-//! injection-rejection count are emitted into the JSON report.
-//! `docs/FIGURES.md` maps every binary to its paper figure, flags and
-//! output shape.
+//! injection-rejection count are emitted into the JSON report.  Every
+//! figure binary takes `--engine <reference|ticked|skip|calendar>` to
+//! select the cycle engine — the tables are engine-independent (the
+//! schedules are bit-identical), so the flag exists for A/B wall-clock
+//! timing via the stderr line each binary prints.  `docs/FIGURES.md` maps
+//! every binary to its paper figure, flags and output shape.
 //!
-//! The crate itself is thin: [`datasets`] builds the catalogued graphs at
-//! reproduction scale, [`runner`] configures and runs one simulation per
-//! figure cell, and [`report`] renders tables/CSV/JSON.
+//! The crate itself is thin: [`cli`] owns the shared flag parsing,
+//! [`datasets`] builds the catalogued graphs at reproduction scale,
+//! [`runner`] configures and runs one simulation per figure cell, and
+//! [`report`] renders tables/CSV/JSON.
 //!
 //! The Criterion benches under `benches/` exercise the same code paths at
 //! small fixed sizes so `cargo bench --workspace` provides regression
 //! tracking for the simulator's hot loops.  `sim_microbench`'s
 //! `torus_64x64_cycle_*` pair measures the event-driven `Network::cycle`
-//! against the pre-overhaul reference scan on a dense 64x64 torus — the
-//! ≥2x cycles/sec acceptance case for the hot-path overhaul.
+//! against the pre-overhaul reference scan on a dense 64x64 torus (the
+//! ≥2x acceptance case for the hot-path overhaul), and its
+//! `sim_64x64_sssp_dense/engine_*` pair measures the calendar engine
+//! against the skip engine on the dense 64x64 SSSP middle (the ≥1.3x
+//! acceptance case for the calendar router scheduler).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod datasets;
 pub mod report;
 pub mod runner;

@@ -1,4 +1,5 @@
-//! Table and CSV reporting used by the figure binaries.
+//! Table, CSV and JSON reporting used by the figure binaries (their shared
+//! command-line flags live in [`crate::cli`]).
 
 /// A simple aligned-text table, printed like the rows of a paper figure.
 #[derive(Debug, Clone, Default)]
@@ -77,10 +78,10 @@ impl Table {
         out
     }
 
-    /// Prints the table as text, or CSV when the command line contains
-    /// `--csv`.
-    pub fn print(&self, title: &str) {
-        let csv = std::env::args().any(|a| a == "--csv");
+    /// Prints the table as aligned text, or as CSV when `csv` is set (the
+    /// figure binaries pass [`crate::cli::FigureCli`]'s parsed `--csv`
+    /// flag, the single source of truth for the format).
+    pub fn print(&self, title: &str, csv: bool) {
         println!("# {title}");
         if csv {
             print!("{}", self.to_csv());
@@ -186,7 +187,8 @@ pub fn to_json_array(measurements: &[Measurement]) -> String {
 }
 
 /// Writes measurements as a JSON array to `path` (the destination of the
-/// figure binaries' `--json <path>` flag; see [`json_output_path`]).
+/// figure binaries' `--json <path>` flag; see
+/// [`crate::cli::FigureCli::write_json_if_requested`]).
 ///
 /// # Errors
 ///
@@ -194,109 +196,6 @@ pub fn to_json_array(measurements: &[Measurement]) -> String {
 pub fn write_json(path: &str, measurements: &[Measurement]) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(path, to_json_array(measurements))?;
     Ok(())
-}
-
-/// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
-/// command line, if present.  The figure binaries use this for their sweep
-/// flags (`--json <path>`, `--max-side <n>`, `--drains <a,b,...>`).
-pub fn flag_value(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let assigned = format!("--{name}=");
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == flag {
-            // A following token that is itself a flag means the value was
-            // forgotten; surface that instead of consuming the other flag.
-            let value = args.next().filter(|v| !v.starts_with("--"));
-            if value.is_none() {
-                eprintln!("flag {flag} is missing its value");
-            }
-            return value;
-        }
-        if let Some(value) = arg.strip_prefix(&assigned) {
-            return Some(value.to_string());
-        }
-    }
-    None
-}
-
-/// Parses the `--json <path>` command-line flag used by the figure
-/// binaries to persist their measurements as JSON next to the printed
-/// table.  Returns `None` when the flag is absent or has no value.
-pub fn json_output_path() -> Option<String> {
-    flag_value("json")
-}
-
-/// Default endpoint budget (messages drained/injected per tile per cycle)
-/// for the figure binaries whose comparison must run *fabric-bound*:
-/// `fig08_noc`, `fig09_energy_breakdown` and `fig10_heatmaps` all pass
-/// `&[FABRIC_BOUND_DRAINS]` to [`drains_flag_or`].  Two is the smallest
-/// budget at which the dense runs stop being serialized by the single
-/// local router port; retune it here, in one place, if larger grids ever
-/// move the knee.
-pub const FABRIC_BOUND_DRAINS: usize = 2;
-
-/// Parses the `--drains <a,b,...>` flag: the endpoint-drain budgets a
-/// figure binary sweeps (default just `[1]`, the paper's single-port
-/// tile).  Invalid or zero entries are dropped with a warning on stderr
-/// so a typo'd sweep never silently measures the wrong configurations.
-pub fn drains_flag() -> Vec<usize> {
-    drains_flag_or(&[1])
-}
-
-/// Like [`drains_flag`], with a caller-chosen default sweep for binaries
-/// whose figure is not measured at the paper's single-port endpoint —
-/// `fig08_noc`, `fig09_energy_breakdown` and `fig10_heatmaps` default to
-/// [`FABRIC_BOUND_DRAINS`] so their comparisons run fabric-bound rather
-/// than endpoint-bound.
-pub fn drains_flag_or(default: &[usize]) -> Vec<usize> {
-    let mut parsed = Vec::new();
-    if let Some(list) = flag_value("drains") {
-        for entry in list.split(',') {
-            match entry.trim().parse::<usize>() {
-                Ok(drains) if drains > 0 => parsed.push(drains),
-                _ => eprintln!("ignoring invalid --drains entry {entry:?} (want a positive integer)"),
-            }
-        }
-    }
-    if parsed.is_empty() {
-        default.to_vec()
-    } else {
-        parsed
-    }
-}
-
-/// Parses the `--max-side <n>` flag overriding the `DALOREX_MAX_SIDE`
-/// environment variable, so one invocation can push a sweep to 32x32 or
-/// 64x64 grids without touching the environment.  An unparsable value is
-/// reported on stderr rather than silently falling back to the default.
-pub fn max_side_flag() -> Option<usize> {
-    let value = flag_value("max-side")?;
-    match value.parse::<usize>() {
-        Ok(side) if side > 0 => Some(side),
-        _ => {
-            eprintln!("ignoring invalid --max-side value {value:?} (want a positive integer)");
-            None
-        }
-    }
-}
-
-/// Writes `measurements` to the path given by `--json <path>`, if any.
-/// Used by the figure binaries after printing their tables; on a write
-/// failure it reports the error and exits nonzero so that pipelines like
-/// `fig07_throughput -- --json out.json && plot out.json` do not proceed
-/// without the file.
-pub fn write_json_if_requested(measurements: &[Measurement]) {
-    let Some(path) = json_output_path() else {
-        return;
-    };
-    match write_json(&path, measurements) {
-        Ok(()) => eprintln!("wrote {} measurements to {path}", measurements.len()),
-        Err(err) => {
-            eprintln!("failed to write JSON to {path}: {err}");
-            std::process::exit(1);
-        }
-    }
 }
 
 /// Formats a ratio the way the paper quotes factors ("6.2x").
@@ -337,14 +236,6 @@ mod tests {
     fn factors_format_like_the_paper() {
         assert_eq!(format_factor(6.23), "6.2x");
         assert_eq!(format_factor(221.4), "221x");
-    }
-
-    #[test]
-    fn drains_flag_defaults_to_single_port() {
-        // The test harness never passes --drains.
-        assert_eq!(drains_flag(), vec![1]);
-        assert_eq!(max_side_flag(), None);
-        assert_eq!(flag_value("no-such-flag"), None);
     }
 
     #[test]

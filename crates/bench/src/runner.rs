@@ -3,7 +3,7 @@
 use dalorex_baseline::Workload;
 use dalorex_graph::CsrGraph;
 use dalorex_noc::Topology;
-use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
+use dalorex_sim::config::{BarrierMode, Engine, GridConfig, SimConfigBuilder};
 use dalorex_sim::engine::SimOutcome;
 use dalorex_sim::{SimError, Simulation};
 
@@ -19,6 +19,11 @@ pub struct RunOptions {
     /// Endpoint bandwidth: messages drained/injected per tile per cycle
     /// (default 1, the paper's single local router port).
     pub endpoint_drains: usize,
+    /// Cycle engine driving the run (default [`Engine::Skip`]; every
+    /// engine models the identical schedule, so this only changes
+    /// simulator wall-clock — the figure binaries expose it as
+    /// `--engine`).
+    pub engine: Engine,
 }
 
 impl RunOptions {
@@ -30,6 +35,7 @@ impl RunOptions {
             topology: None,
             scratchpad_bytes,
             endpoint_drains: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -42,6 +48,12 @@ impl RunOptions {
     /// Overrides the endpoint-drain budget (messages per tile per cycle).
     pub fn with_endpoint_drains(mut self, drains: usize) -> Self {
         self.endpoint_drains = drains;
+        self
+    }
+
+    /// Overrides the cycle engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -64,6 +76,7 @@ pub fn run_dalorex(
     let mut builder = SimConfigBuilder::new(grid)
         .scratchpad_bytes(options.scratchpad_bytes)
         .endpoint_drains_per_cycle(options.endpoint_drains)
+        .engine(options.engine)
         .barrier_mode(if workload.requires_barrier() {
             BarrierMode::EpochBarrier
         } else {
@@ -134,6 +147,24 @@ mod tests {
         assert_eq!(scaling_sides(1), vec![1]);
         assert_eq!(scaling_sides(12), vec![1, 2, 4, 8]);
         assert_eq!(scaling_sides(64), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn every_engine_produces_the_identical_outcome() {
+        let graph = RmatConfig::new(7, 5).seed(3).build().unwrap();
+        let workload = Workload::Bfs { root: 0 };
+        let base = run_dalorex(&graph, workload, RunOptions::new(2, 1 << 20)).unwrap();
+        for engine in Engine::ALL {
+            let outcome = run_dalorex(
+                &graph,
+                workload,
+                RunOptions::new(2, 1 << 20).with_engine(engine),
+            )
+            .unwrap();
+            assert_eq!(outcome.cycles, base.cycles, "cycles diverged on {engine}");
+            assert_eq!(outcome.stats, base.stats, "stats diverged on {engine}");
+            assert_eq!(outcome.output, base.output, "output diverged on {engine}");
+        }
     }
 
     #[test]

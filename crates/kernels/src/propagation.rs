@@ -228,11 +228,17 @@ impl Kernel for PropagationKernel {
             TaskDecl::new("T2-expand", 192, TaskParams::AutoPop(3))
                 .requires_cq_space(CQ2_TO_VERTICES, 2 * OQT2 as usize),
             TaskDecl::new("T3-update", 2048, TaskParams::AutoPop(2)),
+            // T4's output queue is T1's IQ: without the dispatch-time space
+            // guarantee, occupancy-priority scheduling can pin a large-IQ4
+            // tile on T4 forever while IQ1 sits full (each invocation finds
+            // no room, pops nothing, and outranks T1 in the tie-break) — the
+            // single-tile scaling_study livelock.
             TaskDecl::with_capacity(
                 "T4-frontier",
                 QueueCapacity::VertexBlocks,
                 TaskParams::SelfManaged,
-            ),
+            )
+            .requires_iq_space(T1_EXPLORE, 1),
         ]
     }
 

@@ -82,6 +82,26 @@ pub type TileId = usize;
 /// so that a clogged channel cannot block another.
 pub type ChannelId = usize;
 
+/// How [`Network::cycle`] finds the routers that can act each cycle.
+///
+/// Both schedulers produce bit-identical forwarding schedules and
+/// statistics; they differ only in simulator cost.  The scan scheduler
+/// visits every active router's ports every cycle; the calendar scheduler
+/// keeps a per-router `next_possible` due stamp and a bucketed calendar of
+/// due routers, so a cycle only port-scans the routers that could actually
+/// commit — the win on dense regimes where deliveries land nearly every
+/// cycle and whole-network skipping cannot help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterScheduler {
+    /// Scan every active router's occupied topology ports each cycle (the
+    /// PR 2 event-driven hot path).
+    #[default]
+    Scan,
+    /// Consult per-router due stamps and only port-scan routers whose stamp
+    /// has come due, preserving the arbitration-order active list exactly.
+    Calendar,
+}
+
 /// Configuration of a network instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocConfig {
@@ -112,6 +132,10 @@ pub struct NocConfig {
     /// it models wider endpoint interfaces so the fabric, not the endpoint,
     /// becomes the bottleneck on dense-traffic sweeps.
     pub endpoint_drains_per_cycle: usize,
+    /// Which per-cycle router scheduler [`Network::cycle`] runs (default
+    /// [`RouterScheduler::Scan`]).  Schedules and statistics are identical
+    /// either way; only simulator wall-clock differs.
+    pub router_scheduler: RouterScheduler,
 }
 
 impl NocConfig {
@@ -125,6 +149,7 @@ impl NocConfig {
             buffer_flits: 16,
             ejection_buffer_flits: 16,
             endpoint_drains_per_cycle: 1,
+            router_scheduler: RouterScheduler::default(),
         }
     }
 
@@ -150,6 +175,12 @@ impl NocConfig {
     /// ejection buffers — and inject from its channel queues — per cycle.
     pub fn with_endpoint_drains(mut self, drains_per_cycle: usize) -> Self {
         self.endpoint_drains_per_cycle = drains_per_cycle;
+        self
+    }
+
+    /// Selects the per-cycle router scheduler.
+    pub fn with_router_scheduler(mut self, scheduler: RouterScheduler) -> Self {
+        self.router_scheduler = scheduler;
         self
     }
 }

@@ -62,12 +62,39 @@
 //! `cycle()` calls — simulator wall-clock, not modelled time — shrinks.
 //! The tile simulator in `dalorex-sim` combines this bound with its own
 //! tile-side event tracking to jump whole-chip quiescent stretches.
+//!
+//! # The calendar router scheduler
+//!
+//! Whole-system skipping saturates on dense regimes: when deliveries land
+//! nearly every cycle, no window is quiet, and the full active-router scan
+//! dominates simulator wall-clock.  Configuring
+//! [`RouterScheduler::Calendar`](crate::RouterScheduler) makes
+//! [`Network::cycle`] keep a per-router **`next_possible` due stamp** (the
+//! min over that router's head `ready_at`s, link un-busy times, post-commit
+//! link-free times, and "next cycle" for heads blocked on full downstream
+//! buffers) plus a bucketed calendar of due routers.  A calendar cycle
+//! walks the same arbitration-order active list as the scan scheduler but
+//! skips every router whose stamp has not come due in O(1) — a dense array
+//! read instead of a port scan — and when the calendar proves *no* router
+//! is due, skips the walk entirely.  Stamps are lower bounds, so a due
+//! router may still commit nothing (it is simply re-stamped); the
+//! invariant that a stamp never overshoots the router's actual next commit
+//! is what keeps the schedule bit-identical to the scan scheduler and to
+//! [`Network::cycle_reference`], and is pinned by the cross-crate property
+//! suite via [`Network::next_possible_stamp`].
 
 use crate::message::Message;
 use crate::router::{QueuedMessage, Router};
 use crate::stats::{NocStats, UtilizationGrid};
 use crate::topology::{Port, RoutingGrid};
-use crate::{ChannelId, NocConfig, NocError, TileId};
+use crate::{ChannelId, NocConfig, NocError, RouterScheduler, TileId};
+
+/// Number of calendar bucket slots (a ring indexed by `cycle % WIDTH`).
+/// Due stamps never lie more than one maximal serialization
+/// ([`crate::MAX_FLITS`] cycles) in the future, so any width beyond that
+/// only spreads entries; 64 keeps the ring a few cache lines and makes the
+/// "drain at most `WIDTH` slots after a long jump" bound cover every slot.
+const CALENDAR_WIDTH: u64 = 64;
 
 /// A message rejected at injection, handed back to the caller together with
 /// the reason so it can be retried on a later cycle.
@@ -165,6 +192,54 @@ pub struct Network {
     /// space may unblock an upstream message).  `u64::MAX` means no buffered
     /// message can ever move without external action (an endpoint drain).
     next_commit_at: u64,
+    /// Whether the calendar scheduler drives [`Network::cycle`] (cached
+    /// from [`NocConfig::router_scheduler`]).
+    calendar: bool,
+    /// Per-router `next_possible` due stamp (calendar scheduler): the
+    /// earliest cycle at which port-scanning the router could commit a
+    /// forward or have any side effect.  A calendar cycle skips — without
+    /// touching the router — every active router whose stamp has not come
+    /// due; the invariant (checked by the property suite) is that a
+    /// router's stamp never overshoots its actual next commit.  `u64::MAX`
+    /// means the router holds nothing forwardable (empty, or ejection
+    /// deliveries only) and is re-stamped by the next push.
+    due: Vec<u64>,
+    /// Dense mirror of each router's `buffered_messages()` so the calendar
+    /// walk can decide active-list retention for skipped routers without
+    /// touching the (much larger) router state.
+    buffered_count: Vec<u32>,
+    /// The bucketed calendar: ring of due-router lists indexed by
+    /// `stamp % CALENDAR_WIDTH`.  Entries are lazy — a re-stamped router's
+    /// old entry is dropped (or re-filed) when its bucket is drained — so
+    /// the dense `due` array stays the single source of truth.
+    cal_buckets: Vec<Vec<TileId>>,
+    /// Scratch for re-filing still-future entries during a bucket drain.
+    cal_refile: Vec<TileId>,
+    /// First cycle whose bucket has not been drained yet.
+    cal_head: u64,
+    /// Set when an endpoint drain empties an active router's buffers
+    /// between cycles: the next calendar cycle must walk the active list
+    /// (dropping the router exactly where the scan scheduler would) even if
+    /// no router is due.
+    membership_dirty: bool,
+    /// Calendar-scheduler refinement of the wake-on-pop flag: routers whose
+    /// ready head is blocked on one of `waiters[t]`'s full buffers.  A
+    /// blocked router registers itself here and sleeps (due `u64::MAX`
+    /// unless another port has a candidate) instead of re-scanning every
+    /// cycle; any pop at `t` wakes every waiter.  Spurious wakes (a pop
+    /// from a buffer the waiter was not blocked on) cost one no-op re-scan
+    /// and re-registration — never a schedule change.
+    waiters: Vec<Vec<TileId>>,
+}
+
+/// Per-router result of one port scan, accumulated by
+/// [`Network::scan_router`]: the PR 4 next-event candidate (the min over
+/// busy-link un-busy times, head `ready_at`s and post-commit link-free
+/// times — blocked heads contribute nothing; they re-arm via wake-on-pop,
+/// refined to per-router waiter lists under the calendar scheduler).
+#[derive(Debug, Clone, Copy)]
+struct RouterScan {
+    min_candidate: u64,
 }
 
 impl Network {
@@ -236,6 +311,7 @@ impl Network {
             injection_rejections_per_tile: vec![0; num_tiles],
             ..NocStats::default()
         };
+        let calendar = config.router_scheduler == RouterScheduler::Calendar;
         Network {
             grid,
             routers,
@@ -254,6 +330,22 @@ impl Network {
             delivery_event_pending: vec![false; num_tiles],
             drain_versions: vec![0; num_tiles],
             next_commit_at: 0,
+            calendar,
+            due: vec![u64::MAX; num_tiles],
+            buffered_count: vec![0; num_tiles],
+            cal_buckets: if calendar {
+                (0..CALENDAR_WIDTH).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            cal_refile: Vec::new(),
+            cal_head: 0,
+            membership_dirty: false,
+            waiters: if calendar {
+                vec![Vec::new(); num_tiles]
+            } else {
+                Vec::new()
+            },
             config,
         }
     }
@@ -478,6 +570,7 @@ impl Network {
             message,
         };
         self.stats.injected_messages += 1;
+        self.buffered_count[src] += 1;
         if port == Port::Local {
             self.awaiting_ejection += 1;
             self.stats.delivered_messages += 1;
@@ -487,9 +580,11 @@ impl Network {
         } else {
             self.in_flight_messages += 1;
             // The new message is forwardable as soon as its output link is
-            // free: a fresh candidate for the next-event bound.
+            // free: a fresh candidate for the next-event bound (and, under
+            // the calendar scheduler, for the router's due stamp).
             let candidate = self.cycle.max(self.routers[src].link_busy_until(port));
             self.next_commit_at = self.next_commit_at.min(candidate);
+            self.schedule_due(src, candidate);
             self.routers[src].push(port, channel, queued);
             self.mark_active(src);
         }
@@ -522,6 +617,16 @@ impl Network {
     pub fn pop_delivered_on(&mut self, tile: TileId, channel: ChannelId) -> Option<Message> {
         let queued = self.routers[tile].pop(Port::Local, channel)?;
         self.awaiting_ejection -= 1;
+        self.buffered_count[tile] -= 1;
+        if self.calendar && self.buffered_count[tile] == 0 && self.active[tile] {
+            // The drain emptied an active router: the next calendar cycle
+            // must walk the list so the router is dropped at exactly the
+            // position the scan scheduler would drop it.
+            self.membership_dirty = true;
+        }
+        // The freed ejection space may unblock an upstream waiter on the
+        // next simulated cycle.
+        self.wake_waiters(tile, self.cycle, self.cycle);
         self.drain_versions[tile] = self.drain_versions[tile].wrapping_add(1);
         if self.routers[tile].wake_on_pop {
             // An upstream message was blocked on one of this router's full
@@ -557,7 +662,24 @@ impl Network {
     ///
     /// As a by-product the scan recomputes the next-event bound consumed by
     /// [`Network::next_event_cycle`] / [`Network::advance_to`].
+    ///
+    /// Which per-cycle scheduler runs is selected by
+    /// [`NocConfig::router_scheduler`]: the scan scheduler visits every
+    /// active router, the calendar scheduler only the routers whose
+    /// `next_possible` due stamp has come due (see
+    /// [`crate::RouterScheduler`]).  Both produce bit-identical schedules
+    /// and statistics.
     pub fn cycle(&mut self) {
+        if self.calendar {
+            self.cycle_calendar();
+        } else {
+            self.cycle_scan();
+        }
+    }
+
+    /// The scan scheduler: every active router's occupied topology ports
+    /// are visited each cycle.
+    fn cycle_scan(&mut self) {
         let now = self.cycle;
         let mut next_commit = u64::MAX;
         debug_assert!(self.active_scratch.is_empty());
@@ -565,7 +687,8 @@ impl Network {
         for i in 0..self.active_scratch.len() {
             let tile = self.active_scratch[i];
             self.active[tile] = false;
-            self.cycle_router(tile, now, &mut next_commit);
+            let scan = self.scan_router(tile, now);
+            next_commit = next_commit.min(scan.min_candidate);
             // Retain routers with *any* buffered message — including ones
             // holding only undrained ejection-buffer deliveries — exactly
             // like the reference scan does.  Retention is not about work
@@ -587,6 +710,176 @@ impl Network {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         self.next_commit_at = next_commit.max(self.cycle);
+    }
+
+    /// The calendar scheduler: port-scan only the active routers whose due
+    /// stamp has come due, skipping the rest in O(1) per router (a dense
+    /// stamp read) while walking the active list in its exact arbitration
+    /// order.  When the calendar proves no router is due — and no endpoint
+    /// drain emptied a router since the last walk — the whole walk is
+    /// skipped: the cycle is a pure counter increment, exactly like a
+    /// no-commit scan.
+    fn cycle_calendar(&mut self) {
+        let now = self.cycle;
+        let any_due = self.drain_calendar_through(now);
+        if !any_due && !self.membership_dirty {
+            // No router can commit or needs a re-scan, and membership
+            // cannot have changed: provably a no-op cycle for every active
+            // router, with the list order untouched (a walk would have
+            // retained every router in place).
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            self.next_commit_at = self.next_commit_at.max(self.cycle);
+            return;
+        }
+        self.membership_dirty = false;
+        let mut next_commit = u64::MAX;
+        debug_assert!(self.active_scratch.is_empty());
+        std::mem::swap(&mut self.active_list, &mut self.active_scratch);
+        for i in 0..self.active_scratch.len() {
+            let tile = self.active_scratch[i];
+            self.active[tile] = false;
+            debug_assert_eq!(
+                self.buffered_count[tile] as usize,
+                self.routers[tile].buffered_messages(),
+                "dense buffered-message mirror drifted"
+            );
+            if self.due[tile] <= now {
+                // Due: the full port scan, exactly as the scan scheduler
+                // would run it, then a fresh due stamp from its findings
+                // (a blocked head contributes nothing — the pop that frees
+                // its way wakes this router through the waiter list).
+                self.due[tile] = u64::MAX;
+                let scan = self.scan_router(tile, now);
+                self.set_due(tile, scan.min_candidate);
+                next_commit = next_commit.min(scan.min_candidate);
+            } else {
+                // Not due: provably unable to commit or to have any side
+                // effect this cycle — skip the router entirely.
+                next_commit = next_commit.min(self.due[tile]);
+            }
+            // Same retention rule (and therefore the same arbitration
+            // order) as the scan scheduler, read from the dense mirror.
+            if self.buffered_count[tile] > 0 && !self.active[tile] {
+                self.active[tile] = true;
+                self.requeue_scratch.push(tile);
+            } else if self.buffered_count[tile] == 0 {
+                // Dropped from the list: clear any stale stamp, or a later
+                // push whose candidate is *higher* would neither lower it
+                // nor file a calendar entry — leaving the router invisible
+                // to the due check forever (its old bucket entry was
+                // consumed long ago).
+                self.due[tile] = u64::MAX;
+            }
+        }
+        self.active_scratch.clear();
+        self.active_list.append(&mut self.requeue_scratch);
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.next_commit_at = next_commit.max(self.cycle);
+    }
+
+    /// Lowers `tile`'s due stamp to `stamp` (push/injection events), filing
+    /// it into the calendar bucket for that cycle.  No-op under the scan
+    /// scheduler and for the "nothing forwardable" sentinel.
+    #[inline]
+    fn schedule_due(&mut self, tile: TileId, stamp: u64) {
+        if !self.calendar || stamp == u64::MAX {
+            return;
+        }
+        if stamp < self.due[tile] {
+            self.due[tile] = stamp;
+            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+        }
+        self.next_commit_at = self.next_commit_at.min(stamp);
+    }
+
+    /// Wakes every router registered as a waiter on `tile`'s buffers: a pop
+    /// at `tile` just freed space, so each waiter's blocked head may now
+    /// move — its due stamp collapses to `stamp` (the pop's cycle: a waiter
+    /// positioned after `tile` in the current walk contends this very
+    /// cycle, exactly as the scan scheduler's full walk would let it).
+    /// Entries are filed under `bucket_cycle` — the next cycle whose bucket
+    /// is still undrained — so future fast-path checks see them.
+    #[inline]
+    fn wake_waiters(&mut self, tile: TileId, stamp: u64, bucket_cycle: u64) {
+        if !self.calendar || self.waiters[tile].is_empty() {
+            return;
+        }
+        while let Some(waiter) = self.waiters[tile].pop() {
+            if stamp < self.due[waiter] {
+                self.due[waiter] = stamp;
+                self.cal_buckets[(bucket_cycle % CALENDAR_WIDTH) as usize].push(waiter);
+            }
+        }
+        self.next_commit_at = self.next_commit_at.min(stamp);
+    }
+
+    /// Records the authoritative due stamp a walk just computed for `tile`
+    /// (the scan has complete knowledge, so the stamp may also rise).
+    #[inline]
+    fn set_due(&mut self, tile: TileId, stamp: u64) {
+        debug_assert!(self.calendar);
+        self.due[tile] = stamp;
+        if stamp != u64::MAX {
+            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+        }
+    }
+
+    /// Drains every calendar bucket for cycles up to and including `now`,
+    /// returning whether any entry is actually due (stamps are
+    /// lazy-validated against the dense `due` array; still-future entries
+    /// are re-filed into their stamp's bucket).  After a long
+    /// [`Network::advance_to`] jump at most [`CALENDAR_WIDTH`] slots need
+    /// draining — the ring indices repeat, so that covers every slot.
+    fn drain_calendar_through(&mut self, now: u64) -> bool {
+        let from = self.cal_head;
+        if from > now {
+            return false;
+        }
+        self.cal_head = now + 1;
+        let lo = if now - from >= CALENDAR_WIDTH {
+            now + 1 - CALENDAR_WIDTH
+        } else {
+            from
+        };
+        let mut any_due = false;
+        debug_assert!(self.cal_refile.is_empty());
+        for slot_cycle in lo..=now {
+            let idx = (slot_cycle % CALENDAR_WIDTH) as usize;
+            // Take the bucket out (keeping its allocation) so its entries
+            // can be validated against the dense stamps.
+            let mut bucket = std::mem::take(&mut self.cal_buckets[idx]);
+            for &tile in &bucket {
+                if self.due[tile] <= now {
+                    any_due = true;
+                } else if self.due[tile] != u64::MAX {
+                    // Re-stamped into the future since this entry was
+                    // filed: keep it alive in its new bucket.
+                    self.cal_refile.push(tile);
+                }
+            }
+            bucket.clear();
+            self.cal_buckets[idx] = bucket;
+        }
+        let mut refile = std::mem::take(&mut self.cal_refile);
+        for &tile in &refile {
+            let stamp = self.due[tile];
+            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+        }
+        refile.clear();
+        self.cal_refile = refile;
+        any_due
+    }
+
+    /// The calendar scheduler's `next_possible` due stamp for `tile`: the
+    /// earliest cycle at which port-scanning the router could commit a
+    /// forward or have a side effect (`u64::MAX` when it holds nothing
+    /// forwardable).  Only meaningful under
+    /// [`RouterScheduler::Calendar`]; the property suite asserts the stamp
+    /// never overshoots the router's actual next commit.
+    pub fn next_possible_stamp(&self, tile: TileId) -> u64 {
+        self.due[tile]
     }
 
     /// The earliest cycle at which [`Network::cycle`] could forward a
@@ -683,7 +976,13 @@ impl Network {
         self.next_commit_at = self.cycle;
     }
 
-    fn cycle_router(&mut self, tile: TileId, now: u64, next_commit: &mut u64) {
+    /// Port-scans one router (the shared core of both schedulers),
+    /// committing at most one forward per occupied port and returning the
+    /// router's next-event findings.
+    fn scan_router(&mut self, tile: TileId, now: u64) -> RouterScan {
+        let mut scan = RouterScan {
+            min_candidate: u64::MAX,
+        };
         for i in 0..self.forward_ports.len() {
             let port = self.forward_ports[i];
             let router = &self.routers[tile];
@@ -698,11 +997,12 @@ impl Network {
                 // frees (its head may additionally not be ready by then —
                 // the bound is a lower bound, the rescan at `busy_until`
                 // tightens it).
-                *next_commit = (*next_commit).min(busy_until);
+                scan.min_candidate = scan.min_candidate.min(busy_until);
                 continue;
             }
-            self.try_forward(tile, port, now, next_commit);
+            self.try_forward(tile, port, now, &mut scan);
         }
+        scan
     }
 
     /// Attempts to forward one message from (tile, port); implements
@@ -714,7 +1014,7 @@ impl Network {
     /// the downstream port is routed from cached coordinates.  The
     /// decisions it commits are bit-identical to
     /// [`Network::try_forward_reference`].
-    fn try_forward(&mut self, tile: TileId, port: Port, now: u64, next_commit: &mut u64) {
+    fn try_forward(&mut self, tile: TileId, port: Port, now: u64, scan: &mut RouterScan) {
         let channels = self.config.channels;
         let start_channel = self.routers[tile].rr_channel(port);
         for offset in 0..channels {
@@ -726,7 +1026,7 @@ impl Network {
                 ForwardCandidate::ReadyAt(ready_at) => {
                     // Cut-through: the head cannot move before its last flit
                     // has arrived — a future event candidate.
-                    *next_commit = (*next_commit).min(ready_at);
+                    scan.min_candidate = scan.min_candidate.min(ready_at);
                     continue;
                 }
                 ForwardCandidate::Empty => continue,
@@ -753,12 +1053,18 @@ impl Network {
                         // only move after a pop frees space there, so it
                         // contributes no time candidate — the downstream
                         // router's wake-on-pop flag re-arms the bound when
-                        // that pop happens.
+                        // that pop happens, and the calendar scheduler
+                        // additionally registers this router as a waiter so
+                        // the pop re-stamps it (instead of it re-scanning
+                        // every cycle).
                         self.routers[next_tile].wake_on_pop = true;
+                        if self.calendar && !self.waiters[next_tile].contains(&tile) {
+                            self.waiters[next_tile].push(tile);
+                        }
                         continue;
                     }
                     self.commit_forward(tile, port, channel, flits, next_tile, next_port, now);
-                    *next_commit = (*next_commit).min(self.commit_bound(tile, port, now));
+                    scan.min_candidate = scan.min_candidate.min(self.commit_bound(tile, port, now));
                     return;
                 }
             }
@@ -840,6 +1146,12 @@ impl Network {
         let queued = self.routers[tile]
             .pop(port, channel)
             .expect("forwardable message exists");
+        self.buffered_count[tile] -= 1;
+        // The freed output-buffer space may unblock an upstream waiter: it
+        // contends at `now` if it sits after this router in the walk (file
+        // under `now + 1`, the first undrained bucket — the current walk
+        // reads the dense stamps directly).
+        self.wake_waiters(tile, now, now + 1);
         self.drain_versions[tile] = self.drain_versions[tile].wrapping_add(1);
         let serialization = flits as u64;
         self.routers[tile].set_link_busy_until(port, now + serialization);
@@ -854,6 +1166,7 @@ impl Network {
             ready_at: now + serialization,
             message: queued.message,
         };
+        self.buffered_count[next_tile] += 1;
         if next_port == Port::Local {
             self.in_flight_messages -= 1;
             self.awaiting_ejection += 1;
@@ -864,6 +1177,12 @@ impl Network {
             self.note_delivery(next_tile);
             self.routers[next_tile].push(next_port, channel, arriving);
         } else {
+            // The arriving head can go once its last flit has landed and
+            // the downstream link is free: a due-stamp candidate for the
+            // downstream router.
+            let downstream_due =
+                (now + serialization).max(self.routers[next_tile].link_busy_until(next_port));
+            self.schedule_due(next_tile, downstream_due);
             self.routers[next_tile].push(next_port, channel, arriving);
             self.mark_active(next_tile);
         }
@@ -1377,6 +1696,154 @@ mod tests {
         assert!(net.in_flight() > 0);
         assert_eq!(net.next_event_cycle(), u64::MAX);
         net.advance_to(u64::MAX);
+    }
+
+    fn small_calendar_net(topology: Topology) -> Network {
+        Network::new(
+            NocConfig::new(GridShape::new(4, 4), topology)
+                .with_router_scheduler(RouterScheduler::Calendar),
+        )
+    }
+
+    /// The calendar scheduler produces the exact per-cycle schedule of the
+    /// reference scan, across topologies, including the per-cycle delivery
+    /// order under endpoint drains (the regime where arbitration-order
+    /// bugs hide).
+    #[test]
+    fn calendar_cycle_matches_reference_schedule() {
+        for topology in [
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::TorusRuche { factor: 2 },
+        ] {
+            let mut calendar = small_calendar_net(topology);
+            let mut reference = small_net(topology);
+            let traffic: Vec<(usize, usize, usize, usize)> = (0..64)
+                .map(|i| (i % 16, (i * 7 + 3) % 16, i % 4, 1 + i % 3))
+                .collect();
+            for step in 0..500u64 {
+                if let Some(&(src, dst, ch, len)) = traffic.get(step as usize) {
+                    let a = calendar.try_inject(src, Message::new(dst, ch, vec![7u32; len]));
+                    let b = reference.try_inject(src, Message::new(dst, ch, vec![7u32; len]));
+                    assert_eq!(a.is_ok(), b.is_ok(), "injection diverged at step {step}");
+                }
+                calendar.cycle();
+                reference.cycle_reference();
+                assert_eq!(
+                    (
+                        calendar.stats().delivered_messages,
+                        calendar.stats().flit_hops
+                    ),
+                    (
+                        reference.stats().delivered_messages,
+                        reference.stats().flit_hops
+                    ),
+                    "schedule diverged at step {step} on {topology:?}"
+                );
+                // Drain one message per tile per cycle on both, leaving some
+                // cycles undrained so ejection back-pressure (and with it
+                // the blocked-head due path) is exercised.
+                if step % 3 != 0 {
+                    for tile in 0..16 {
+                        let a = calendar.pop_delivered(tile);
+                        let b = reference.pop_delivered(tile);
+                        assert_eq!(
+                            a.as_ref().map(|m| m.payload().to_vec()),
+                            b.as_ref().map(|m| m.payload().to_vec()),
+                            "delivery diverged at step {step} on {topology:?}"
+                        );
+                    }
+                }
+            }
+            // Drain the leftovers and finish both.
+            let mut guard = 0;
+            while !calendar.is_idle() || !reference.is_idle() {
+                calendar.cycle();
+                reference.cycle_reference();
+                for tile in 0..16 {
+                    let a = calendar.pop_delivered(tile);
+                    let b = reference.pop_delivered(tile);
+                    assert_eq!(a.map(|m| m.dest()), b.map(|m| m.dest()));
+                }
+                guard += 1;
+                assert!(guard < 10_000, "never drained on {topology:?}");
+            }
+            assert_eq!(calendar.stats(), reference.stats(), "{topology:?}");
+            assert_eq!(calendar.router_utilization(), reference.router_utilization());
+            assert_eq!(calendar.flits_per_router(), reference.flits_per_router());
+        }
+    }
+
+    /// The calendar scheduler also composes with the skip drive loop: jump
+    /// to the next event, cycle, repeat — final state identical to the
+    /// reference ticking every cycle.
+    #[test]
+    fn calendar_skip_drive_loop_matches_reference() {
+        let mut calendar = small_calendar_net(Topology::Torus);
+        let mut reference = small_net(Topology::Torus);
+        for net in [&mut calendar, &mut reference] {
+            for src in 0..16usize {
+                net.try_inject(src, Message::new((src * 5 + 3) % 16, src % 4, vec![1, 2, 3]))
+                    .unwrap();
+            }
+        }
+        run_until_idle_skipping(&mut calendar, 10_000);
+        let mut ticks = 0;
+        while reference.in_flight() > 0 {
+            reference.cycle_reference();
+            ticks += 1;
+            assert!(ticks < 10_000);
+        }
+        calendar.advance_to(reference.current_cycle().max(calendar.current_cycle()));
+        reference.advance_to(calendar.current_cycle());
+        assert_eq!(calendar.stats(), reference.stats());
+        for tile in 0..16 {
+            loop {
+                let a = calendar.pop_delivered(tile);
+                let b = reference.pop_delivered(tile);
+                assert_eq!(
+                    a.as_ref().map(|m| m.payload().to_vec()),
+                    b.as_ref().map(|m| m.payload().to_vec())
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The calendar invariant in miniature: a router's `next_possible`
+    /// stamp never overshoots the cycle at which it actually commits a
+    /// forward (measured by its forwarded-flit counter moving).
+    #[test]
+    fn due_stamps_never_overshoot_actual_commits() {
+        let mut net = small_calendar_net(Topology::Torus);
+        for src in 0..16usize {
+            net.try_inject(src, Message::new((src + 7) % 16, src % 4, vec![9u32; 2]))
+                .unwrap();
+        }
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            let before = net.flits_per_router();
+            let stamps: Vec<u64> = (0..16).map(|t| net.next_possible_stamp(t)).collect();
+            let now = net.current_cycle();
+            net.cycle();
+            let after = net.flits_per_router();
+            for tile in 0..16 {
+                if after[tile] > before[tile] {
+                    assert!(
+                        stamps[tile] <= now,
+                        "router {tile} committed at {now} but its stamp said {}",
+                        stamps[tile]
+                    );
+                }
+            }
+            for tile in 0..16 {
+                while net.pop_delivered(tile).is_some() {}
+            }
+            guard += 1;
+            assert!(guard < 10_000);
+        }
     }
 
     /// Drives the same traffic through the event-driven cycle and the

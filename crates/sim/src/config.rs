@@ -56,6 +56,79 @@ pub enum SchedulingPolicy {
     OccupancyPriority,
 }
 
+/// Which cycle engine drives a simulation run.
+///
+/// All four engines produce **bit-identical** modelled schedules, outputs
+/// and statistics — the cross-crate equivalence suite pins the full square
+/// — and differ only in simulator wall-clock.  Select one via
+/// [`SimConfigBuilder::engine`] (or per run with
+/// `Simulation::run_with_engine`); the figure binaries expose it as
+/// `--engine <reference|ticked|skip|calendar>` for A/B timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The preserved pre-overhaul tile path (full queue scans, per-pop
+    /// allocations) ticking every cycle: the slowest engine, kept as the
+    /// schedule-equivalence oracle.
+    Reference,
+    /// The allocation-free tile path, one `Network::cycle` per simulated
+    /// cycle (the PR 3 engine): the tick-every-cycle baseline.
+    Ticked,
+    /// `Ticked` plus whole-chip skip-to-next-event jumping (the PR 4
+    /// engine): wins on sparse and fabric-bound regimes where provably
+    /// quiet windows are long.  The default.
+    #[default]
+    Skip,
+    /// `Skip` with the NoC's calendar router scheduler: per-router
+    /// `next_possible` due stamps and a bucketed calendar make each
+    /// network cycle scan only the routers that could actually commit —
+    /// the win on dense regimes where deliveries land nearly every cycle
+    /// and whole-chip skipping cannot help.
+    Calendar,
+}
+
+impl Engine {
+    /// Every engine, in oracle-to-fastest order (the order the equivalence
+    /// square iterates).
+    pub const ALL: [Engine; 4] = [
+        Engine::Reference,
+        Engine::Ticked,
+        Engine::Skip,
+        Engine::Calendar,
+    ];
+
+    /// The engine's command-line name (`--engine <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Ticked => "ticked",
+            Engine::Skip => "skip",
+            Engine::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(Engine::Reference),
+            "ticked" | "tick" => Ok(Engine::Ticked),
+            "skip" => Ok(Engine::Skip),
+            "calendar" => Ok(Engine::Calendar),
+            other => Err(format!(
+                "unknown engine {other:?} (want reference, ticked, skip or calendar)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Synchronization mode between graph epochs (Section III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BarrierMode {
@@ -106,6 +179,10 @@ pub struct SimConfig {
     /// the Figure 5 ablation sets it to the 50-cycle interrupt penalty of
     /// Tesseract-style remote calls (Section II-C).
     pub invocation_overhead_cycles: u64,
+    /// The cycle engine `Simulation::run` drives (default
+    /// [`Engine::Skip`]).  All engines model the identical schedule; the
+    /// knob trades simulator wall-clock profiles (see [`Engine`]).
+    pub engine: Engine,
 }
 
 impl SimConfig {
@@ -163,6 +240,7 @@ impl SimConfigBuilder {
                 watchdog_cycles: 2_000_000,
                 epoch_broadcast_cycles: (grid.width + grid.height) as u64,
                 invocation_overhead_cycles: 0,
+                engine: Engine::default(),
             },
         }
     }
@@ -233,6 +311,13 @@ impl SimConfigBuilder {
     /// `Data-Local` ablation rung to model interrupting remote calls).
     pub fn invocation_overhead_cycles(mut self, cycles: u64) -> Self {
         self.config.invocation_overhead_cycles = cycles;
+        self
+    }
+
+    /// Overrides the cycle engine (default [`Engine::Skip`]; the modelled
+    /// schedule is identical for every engine).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.engine = engine;
         self
     }
 
@@ -318,6 +403,23 @@ mod tests {
         assert_eq!(config.vertex_placement, VertexPlacement::Chunked);
         assert_eq!(config.barrier_mode, BarrierMode::EpochBarrier);
         assert_eq!(config.max_cycles, 1000);
+    }
+
+    #[test]
+    fn engine_defaults_parses_and_round_trips() {
+        let config = SimConfigBuilder::new(GridConfig::square(4)).build().unwrap();
+        assert_eq!(config.engine, Engine::Skip);
+        let calendar = SimConfigBuilder::new(GridConfig::square(4))
+            .engine(Engine::Calendar)
+            .build()
+            .unwrap();
+        assert_eq!(calendar.engine, Engine::Calendar);
+        for engine in Engine::ALL {
+            assert_eq!(engine.name().parse::<Engine>().unwrap(), engine);
+            assert_eq!(engine.to_string(), engine.name());
+        }
+        assert_eq!("tick".parse::<Engine>().unwrap(), Engine::Ticked);
+        assert!("warp".parse::<Engine>().is_err());
     }
 
     #[test]

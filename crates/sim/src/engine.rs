@@ -42,7 +42,7 @@
 //! outcomes, and `sim_microbench` measures the speedup of the hot path
 //! against it.
 
-use crate::config::{BarrierMode, SimConfig};
+use crate::config::{BarrierMode, Engine, SimConfig};
 use crate::context::{InvocationCost, SimBootstrapContext, SimEpochContext, SimTaskContext};
 use crate::energy::{EnergyBreakdown, EnergyConstants, EnergyModel};
 use crate::error::SimError;
@@ -54,7 +54,7 @@ use crate::tile::{distribute_graph, TileCsr, TileState};
 use crate::tsu::Scheduler;
 use crate::area::{AreaConstants, AreaModel};
 use dalorex_graph::CsrGraph;
-use dalorex_noc::{Message, Network, NocConfig};
+use dalorex_noc::{Message, Network, NocConfig, RouterScheduler};
 
 /// Result of a completed simulation run.
 #[derive(Debug, Clone)]
@@ -163,22 +163,6 @@ fn tile_next_event(h: &HotTile, now: u64) -> u64 {
     u64::MAX
 }
 
-/// Which engine drives the run: the skip-to-next-event hot path, the same
-/// hot path ticking every cycle, or the preserved pre-overhaul oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EngineMode {
-    /// Allocation-free tile path plus whole-chip cycle skipping: provably
-    /// event-free stretches are jumped in O(active tiles) instead of being
-    /// ticked one cycle at a time ([`Simulation::run`]).
-    Skip,
-    /// Allocation-free tile path, one `Network::cycle` per simulated cycle
-    /// ([`Simulation::run_ticked`] — the PR 3 engine, kept as the
-    /// tick-every-cycle baseline the skip microbench measures against).
-    Tick,
-    /// Pre-overhaul tile path ([`Simulation::run_reference`]).
-    Reference,
-}
-
 /// Per-tile injection parking state (fast path only).  A channel whose
 /// injection the router rejected stays parked until the router's drain
 /// version moves — until then every retry is guaranteed to fail
@@ -283,20 +267,23 @@ impl Simulation {
         &self.area_model
     }
 
-    /// Runs `kernel` to completion and returns the outcome.
+    /// Runs `kernel` to completion under the configured cycle engine
+    /// ([`crate::config::SimConfig::engine`], default [`Engine::Skip`]) and
+    /// returns the outcome.
     ///
-    /// This drives the allocation-free tile path — ring-buffer queue reads,
+    /// Every engine drives the same modelled machine; the default skip
+    /// engine runs the allocation-free tile path — ring-buffer queue reads,
     /// inline message payloads, O(1) idle checks and the incrementally
-    /// maintained readiness masks — under the **skip-to-next-event** cycle
-    /// engine: whenever neither the network (per
-    /// `Network::next_event_cycle`) nor any active tile (pending delivery,
-    /// dispatchable or soon-dispatchable task, unparked injectable message)
-    /// can act before some future cycle, the engine jumps straight to that
-    /// cycle, replaying the skipped no-op cycles' only observable effect
-    /// (parked channels' per-cycle injection rejections and tiles timing
-    /// out of the active set) in O(active tiles).  The modelled schedule
-    /// and every statistic are cycle-exact identical to
-    /// [`Simulation::run_ticked`] and [`Simulation::run_reference`].
+    /// maintained readiness masks — under **skip-to-next-event** cycling:
+    /// whenever neither the network (per `Network::next_event_cycle`) nor
+    /// any active tile (pending delivery, dispatchable or
+    /// soon-dispatchable task, unparked injectable message) can act before
+    /// some future cycle, the engine jumps straight to that cycle,
+    /// replaying the skipped no-op cycles' only observable effect (parked
+    /// channels' per-cycle injection rejections and tiles timing out of
+    /// the active set) in O(active tiles).  The modelled schedule and
+    /// every statistic are cycle-exact identical across all engines (see
+    /// [`Engine`]).
     ///
     /// # Errors
     ///
@@ -306,48 +293,59 @@ impl Simulation {
     /// [`SimError::UnknownKernelResource`] if the kernel's declared output
     /// arrays do not exist.
     pub fn run(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
-        self.run_with(kernel, EngineMode::Skip)
+        self.run_with_engine(kernel, self.config.engine)
+    }
+
+    /// Runs `kernel` under an explicitly selected cycle engine, overriding
+    /// the configured one — the single dispatch point every figure binary,
+    /// microbench and equivalence test goes through.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_with_engine(
+        &self,
+        kernel: &dyn Kernel,
+        engine: Engine,
+    ) -> Result<SimOutcome, SimError> {
+        self.run_with(kernel, engine)
     }
 
     /// Runs `kernel` on the allocation-free tile path while ticking every
-    /// cycle — [`Simulation::run`] without the skip-to-next-event engine.
-    ///
-    /// This is the PR 3 engine, kept so the `sim_microbench` skip pair can
-    /// measure the cycle-skipping speedup in isolation and so equivalence
-    /// tests can pin all three engines (skip, tick, reference) against each
-    /// other.
+    /// cycle — [`Engine::Ticked`], the PR 3 engine, kept as the
+    /// tick-every-cycle baseline the skip microbench measures against.
     ///
     /// # Errors
     ///
     /// Same as [`Simulation::run`].
     pub fn run_ticked(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
-        self.run_with(kernel, EngineMode::Tick)
+        self.run_with(kernel, Engine::Ticked)
     }
 
-    /// Runs `kernel` on the preserved pre-overhaul tile path — the
-    /// schedule-equivalence oracle, in the mould of
-    /// `Network::cycle_reference`.
+    /// Runs `kernel` on the preserved pre-overhaul tile path —
+    /// [`Engine::Reference`], the schedule-equivalence oracle, in the
+    /// mould of `Network::cycle_reference`.
     ///
     /// The reference path keeps the original cost profile of the per-cycle
     /// TSU loop: every queue pop allocates a `Vec`, delivered payloads are
     /// copied to the heap before the head decode, the drain/inject loops
     /// scan every channel, the scheduler re-probes every task's queues
     /// ([`crate::tsu::Scheduler::pick_reference`]), and the idle check
-    /// rescans all queues ([`crate::tile::TileState::is_idle_scan`]).  Both
-    /// paths share the event-driven `Network::cycle`, so comparing the two
-    /// isolates the tile-side overhaul; equivalence tests assert the
-    /// outcomes are identical, and `sim_microbench` measures the speedup.
+    /// rescans all queues ([`crate::tile::TileState::is_idle_scan`]).  All
+    /// paths share `Network::cycle`, so comparing the two isolates the
+    /// tile-side overhaul; equivalence tests assert the outcomes are
+    /// identical, and `sim_microbench` measures the speedup.
     ///
     /// # Errors
     ///
     /// Same as [`Simulation::run`].
     pub fn run_reference(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
-        self.run_with(kernel, EngineMode::Reference)
+        self.run_with(kernel, Engine::Reference)
     }
 
-    fn run_with(&self, kernel: &dyn Kernel, mode: EngineMode) -> Result<SimOutcome, SimError> {
-        let reference = mode == EngineMode::Reference;
-        let skip_engine = mode == EngineMode::Skip;
+    fn run_with(&self, kernel: &dyn Kernel, engine: Engine) -> Result<SimOutcome, SimError> {
+        let reference = engine == Engine::Reference;
+        let skip_engine = matches!(engine, Engine::Skip | Engine::Calendar);
         let tasks = kernel.tasks();
         let channels = kernel.channels();
         let arrays = kernel.arrays();
@@ -381,7 +379,12 @@ impl Simulation {
             .with_channels(channels.len().max(1))
             .with_buffer_flits(self.config.noc_buffer_flits)
             .with_ejection_buffer_flits(self.config.noc_ejection_flits)
-            .with_endpoint_drains(self.config.endpoint_drains_per_cycle);
+            .with_endpoint_drains(self.config.endpoint_drains_per_cycle)
+            .with_router_scheduler(if engine == Engine::Calendar {
+                RouterScheduler::Calendar
+            } else {
+                RouterScheduler::Scan
+            });
         let mut network = Network::new(noc_config);
 
         let mut schedulers: Vec<Scheduler> = (0..num_tiles)
@@ -595,7 +598,7 @@ impl Simulation {
             // here in O(active tiles).  Tiles keep their list positions, so
             // the service order of acting tiles — and with it the schedule
             // and every statistic — is exactly the ticked engines'.
-            if mode == EngineMode::Skip && !(active_list.is_empty() && network.is_idle()) {
+            if skip_engine && !(active_list.is_empty() && network.is_idle()) {
                 // The network bound is in network time (its counter lags the
                 // engine cycle by the accumulated epoch-broadcast offset);
                 // translate it before comparing with the tile events.
@@ -1132,6 +1135,22 @@ fn validate_kernel(
                     "task {i} ({}) requires more CQ space than channel {channel} has",
                     task.name
                 ));
+            }
+        }
+        for &(watched, words) in &task.iq_space_required {
+            if watched >= tasks.len() {
+                return reject(format!(
+                    "task {i} ({}) requires IQ space on undeclared task {watched}",
+                    task.name
+                ));
+            }
+            if let crate::kernel::QueueCapacity::Words(capacity) = tasks[watched].iq_capacity {
+                if words > capacity {
+                    return reject(format!(
+                        "task {i} ({}) requires more IQ space than task {watched}'s IQ has",
+                        task.name
+                    ));
+                }
             }
         }
     }

@@ -59,8 +59,18 @@ pub struct TaskDecl {
     /// Output-space guarantees the TSU must check before dispatch: pairs of
     /// `(channel, words)` meaning "only invoke this task when channel's CQ
     /// has at least `words` free".  Tasks that check fullness themselves
-    /// (T1, T4) leave this empty.
+    /// (T1) leave this empty.
     pub cq_space_required: Vec<(usize, usize)>,
+    /// Output-space guarantees on *local* input queues: pairs of
+    /// `(task, words)` meaning "only invoke this task when `task`'s IQ has
+    /// at least `words` free".  A task whose output is a local push (the
+    /// frontier re-explore task T4 pushes into T1's IQ) declares its
+    /// output-queue requirement here, exactly as a channel-writing task
+    /// declares `cq_space_required`: the TSU must not dispatch a task whose
+    /// output queue cannot absorb any progress, or an occupancy-priority
+    /// schedule can spin it forever against the full queue (the single-tile
+    /// T4/T1 livelock).
+    pub iq_space_required: Vec<(usize, usize)>,
 }
 
 impl TaskDecl {
@@ -72,6 +82,7 @@ impl TaskDecl {
             iq_capacity: QueueCapacity::Words(iq_capacity_words),
             params,
             cq_space_required: Vec::new(),
+            iq_space_required: Vec::new(),
         }
     }
 
@@ -87,6 +98,7 @@ impl TaskDecl {
             iq_capacity,
             params,
             cq_space_required: Vec::new(),
+            iq_space_required: Vec::new(),
         }
     }
 
@@ -94,6 +106,14 @@ impl TaskDecl {
     /// at least `words` free entries.
     pub fn requires_cq_space(mut self, channel: usize, words: usize) -> Self {
         self.cq_space_required.push((channel, words));
+        self
+    }
+
+    /// Adds a dispatch-time guarantee on a local IQ: the task only runs
+    /// when `task`'s input queue has at least `words` free entries.  Declare
+    /// this for tasks whose output is a local push into another task's IQ.
+    pub fn requires_iq_space(mut self, task: TaskId, words: usize) -> Self {
+        self.iq_space_required.push((task, words));
         self
     }
 }

@@ -52,7 +52,7 @@ pub mod tsu;
 mod context;
 mod error;
 
-pub use config::{BarrierMode, GridConfig, SchedulingPolicy, SimConfig, SimConfigBuilder};
+pub use config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfig, SimConfigBuilder};
 pub use engine::{SimOutcome, Simulation};
 pub use error::SimError;
 pub use kernel::Kernel;

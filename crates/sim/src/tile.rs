@@ -144,9 +144,14 @@ struct ReadyMeta {
     iq_need: Vec<usize>,
     /// Per task, the `(channel, words)` output-space guarantees.
     cq_reqs: Vec<Box<[(usize, usize)]>>,
+    /// Per task, the `(task, words)` local-IQ output-space guarantees.
+    iq_reqs: Vec<Box<[(usize, usize)]>>,
     /// Per channel, the tasks whose eligibility watches that CQ's free
     /// space (the reverse map of `cq_reqs`).
     cq_watchers: Vec<Box<[usize]>>,
+    /// Per task IQ, the *other* tasks whose eligibility watches its free
+    /// space (the reverse map of `iq_reqs`).
+    iq_watchers: Vec<Box<[usize]>>,
     /// Per channel, the words of one full message (`flits_per_message`).
     cq_msg_words: Vec<usize>,
     /// Whether the bitmasks are maintained exactly (tasks and channels both
@@ -176,10 +181,25 @@ impl ReadyMeta {
                 }
             }
         }
+        let iq_reqs: Vec<Box<[(usize, usize)]>> = tasks
+            .iter()
+            .map(|t| t.iq_space_required.clone().into_boxed_slice())
+            .collect();
+        let mut iq_watchers: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+        for (task, reqs) in iq_reqs.iter().enumerate() {
+            for &(watched, _) in reqs.iter() {
+                if watched < tasks.len() && watched != task && !iq_watchers[watched].contains(&task)
+                {
+                    iq_watchers[watched].push(task);
+                }
+            }
+        }
         ReadyMeta {
             iq_need,
             cq_reqs,
+            iq_reqs,
             cq_watchers: cq_watchers.into_iter().map(Vec::into_boxed_slice).collect(),
+            iq_watchers: iq_watchers.into_iter().map(Vec::into_boxed_slice).collect(),
             cq_msg_words: channels.iter().map(|c| c.flits_per_message).collect(),
             exact: tasks.len() <= 64 && channels.len() <= 64,
         }
@@ -425,6 +445,9 @@ impl TileState {
         self.meta.cq_reqs[task]
             .iter()
             .all(|&(channel, words)| self.cqs[channel].free() >= words)
+            && self.meta.iq_reqs[task]
+                .iter()
+                .all(|&(watched, words)| self.iqs[watched].free() >= words)
     }
 
     #[inline]
@@ -437,6 +460,18 @@ impl TileState {
             self.task_ready |= bit;
         } else {
             self.task_ready &= !bit;
+        }
+        // An IQ mutation moves its free space, which can flip the
+        // eligibility of tasks holding an output-space guarantee on it (T4
+        // watches T1's IQ).
+        for i in 0..self.meta.iq_watchers[task].len() {
+            let watcher = self.meta.iq_watchers[task][i];
+            let watcher_bit = 1u64 << watcher;
+            if self.compute_task_ready(watcher) {
+                self.task_ready |= watcher_bit;
+            } else {
+                self.task_ready &= !watcher_bit;
+            }
         }
     }
 

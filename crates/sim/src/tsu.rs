@@ -85,6 +85,10 @@ impl Scheduler {
         decl.cq_space_required
             .iter()
             .all(|&(channel, words)| tile.cqs()[channel].free() >= words)
+            && decl
+                .iq_space_required
+                .iter()
+                .all(|&(task, words)| tile.iqs()[task].free() >= words)
     }
 
     /// Priority of an eligible task under the occupancy policy.  Thresholds

@@ -6,15 +6,39 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example scaling_study
+//! cargo run --release --example scaling_study [-- --max-side <n>]
 //! ```
+//!
+//! `--max-side` caps the sweep (default 16).  `--max-side 1` runs only the
+//! single-tile step — the configuration that once livelocked on the
+//! T4-vs-T1 occupancy-priority tie (fixed by T4's `requires_iq_space`
+//! output-queue guarantee); CI runs that step as a regression smoke.
 
 use dalorex::graph::generators::rmat::RmatConfig;
 use dalorex::kernels::BfsKernel;
 use dalorex::sim::config::{GridConfig, SimConfigBuilder};
 use dalorex::sim::Simulation;
 
+fn max_side_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--max-side" {
+            args.next()
+        } else {
+            arg.strip_prefix("--max-side=").map(str::to_string)
+        };
+        if let Some(value) = value {
+            match value.parse::<usize>() {
+                Ok(side) if side > 0 => return side,
+                _ => eprintln!("ignoring invalid --max-side value {value:?}"),
+            }
+        }
+    }
+    16
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let max_side = max_side_arg();
     let graph = RmatConfig::new(13, 10).seed(3).build()?;
     println!(
         "dataset: RMAT-13 ({} vertices, {} edges)",
@@ -27,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut baseline_cycles: Option<u64> = None;
-    for side in [1usize, 2, 4, 8, 16] {
+    for side in [1usize, 2, 4, 8, 16].into_iter().filter(|&s| s <= max_side) {
         let tiles = side * side;
         // Size the scratchpad to the chunk (plus reserve), as a real
         // deployment would provision it.

@@ -7,7 +7,7 @@ use dalorex::kernels::{BfsKernel, SpmvKernel, SsspKernel, WccKernel};
 use dalorex::noc::message::Message;
 use dalorex::noc::network::Network;
 use dalorex::noc::topology::GridShape;
-use dalorex::noc::{NocConfig, Topology};
+use dalorex::noc::{NocConfig, RouterScheduler, Topology};
 use dalorex::sim::config::{GridConfig, SimConfigBuilder};
 use dalorex::sim::placement::ArraySpace;
 use dalorex::sim::{Placement, Simulation, VertexPlacement};
@@ -356,6 +356,139 @@ proptest! {
         }
         prop_assert_eq!(received, expected);
         prop_assert!(skip.is_idle() && reference.is_idle());
+    }
+
+    #[test]
+    fn calendar_scheduler_matches_reference_on_random_traffic(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..80),
+        drains in 1usize..4,
+        torus in proptest::bool::ANY,
+    ) {
+        // The calendar router scheduler against the pre-overhaul
+        // cycle_reference, on arbitrary traffic with a throttled endpoint
+        // (small ejection buffers + a per-cycle drain budget keep some
+        // heads blocked on full downstream buffers, exercising the waiter
+        // lists): message conservation, identical statistics, identical
+        // per-tile delivery streams.
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let config = NocConfig::new(GridShape::new(4, 4), topology)
+            .with_ejection_buffer_flits(8);
+        let mut calendar = Network::new(
+            config.clone().with_router_scheduler(RouterScheduler::Calendar),
+        );
+        let mut reference = Network::new(config);
+        let mut expected = vec![0u32; 16];
+        let mut pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                expected[dst] += 1;
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let mut pending_ref = pending.clone();
+        let mut received = vec![0u32; 16];
+        let mut guard = 0;
+        while !calendar.quiescent()
+            || !reference.quiescent()
+            || !pending.is_empty()
+            || !pending_ref.is_empty()
+        {
+            let mut retry = Vec::new();
+            for (src, msg) in pending.drain(..) {
+                if let Err(rejected) = calendar.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending = retry;
+            let mut retry = Vec::new();
+            for (src, msg) in pending_ref.drain(..) {
+                if let Err(rejected) = reference.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending_ref = retry;
+            calendar.cycle();
+            reference.cycle_reference();
+            for (tile, count) in received.iter_mut().enumerate() {
+                for _ in 0..drains {
+                    let a = calendar.pop_delivered(tile);
+                    let b = reference.pop_delivered(tile);
+                    prop_assert_eq!(
+                        a.as_ref().map(|m| m.payload().to_vec()),
+                        b.as_ref().map(|m| m.payload().to_vec()),
+                        "delivery diverged at tile {}", tile
+                    );
+                    let Some(msg) = a else { break };
+                    prop_assert_eq!(msg.dest(), tile);
+                    *count += 1;
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 50_000, "networks never quiesced");
+        }
+        prop_assert_eq!(received, expected);
+        prop_assert_eq!(calendar.stats(), reference.stats());
+        prop_assert_eq!(calendar.flits_per_router(), reference.flits_per_router());
+    }
+
+    #[test]
+    fn calendar_due_stamps_never_overshoot_commits(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..60),
+        drains in 1usize..4,
+        torus in proptest::bool::ANY,
+    ) {
+        // The calendar invariant (ISSUE 5): a router's `next_possible` due
+        // stamp is a *lower bound* on its next commit — whenever a router
+        // actually forwards a message (its forwarded-flit counter moves
+        // during a cycle), the stamp it carried entering that cycle must
+        // have come due.  An overshooting stamp would mean the calendar
+        // walk could skip a router that the scan scheduler would commit,
+        // silently changing the schedule.
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let mut net = Network::new(
+            NocConfig::new(GridShape::new(4, 4), topology)
+                .with_ejection_buffer_flits(8)
+                .with_router_scheduler(RouterScheduler::Calendar),
+        );
+        let mut pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let mut guard = 0;
+        while !net.quiescent() || !pending.is_empty() {
+            let mut retry = Vec::new();
+            for (src, msg) in pending.drain(..) {
+                if let Err(rejected) = net.try_inject(src, msg) {
+                    retry.push((src, rejected.message));
+                }
+            }
+            pending = retry;
+            let stamps: Vec<u64> = (0..16).map(|t| net.next_possible_stamp(t)).collect();
+            let before = net.flits_per_router();
+            let now = net.current_cycle();
+            net.cycle();
+            let after = net.flits_per_router();
+            for tile in 0..16 {
+                if after[tile] > before[tile] {
+                    prop_assert!(
+                        stamps[tile] <= now,
+                        "router {} committed at cycle {} but its next_possible stamp was {}",
+                        tile, now, stamps[tile]
+                    );
+                }
+            }
+            for tile in 0..16 {
+                for _ in 0..drains {
+                    if net.pop_delivered(tile).is_none() {
+                        break;
+                    }
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 50_000, "network never quiesced");
+        }
     }
 
     #[test]

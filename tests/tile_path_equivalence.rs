@@ -1,46 +1,56 @@
-//! Schedule-equivalence tests for the allocation-free tile path and the
-//! skip-to-next-event cycle engine.
+//! Schedule-equivalence tests for the engine square: all four cycle
+//! engines must be *indistinguishable*.
 //!
-//! `Simulation::run` drives the overhauled per-cycle tile path (ring-buffer
+//! [`Engine::Skip`] drives the overhauled per-cycle tile path (ring-buffer
 //! queues, inline message payloads, O(1) idle tracking, incrementally
 //! maintained readiness masks, parked-injection elision) under the
-//! skip-to-next-event engine; `Simulation::run_ticked` drives the same
-//! tile path while ticking every cycle; `Simulation::run_reference` drives
-//! the preserved pre-overhaul path.  The three must be *indistinguishable*
-//! — cycle counts, gathered outputs, every tile counter and every NoC
-//! statistic (including the per-tile injection rejections the
-//! parked-channel elision and the bulk skip-replay reconstruct instead of
-//! re-attempting) — across every topology, placement and scheduling
-//! policy, in barrierless and barrier mode, and at wider endpoint-drain
-//! budgets.
+//! skip-to-next-event engine; [`Engine::Calendar`] adds the NoC's
+//! calendar router scheduler (per-router `next_possible` due stamps, a
+//! bucketed calendar of due routers, waiter lists for blocked heads);
+//! [`Engine::Ticked`] is the same tile path ticking every cycle; and
+//! [`Engine::Reference`] is the preserved pre-overhaul path.  The four
+//! must agree on everything — cycle counts, gathered outputs, every tile
+//! counter and every NoC statistic (including the per-tile injection
+//! rejections the parked-channel elision and the bulk skip-replay
+//! reconstruct instead of re-attempting) — across every topology,
+//! placement and scheduling policy, in barrierless and barrier mode, and
+//! at wider endpoint-drain budgets.
 //!
 //! A small golden table additionally pins absolute cycle counts for
-//! non-default configurations, so all paths drifting *together* (a bug in
-//! shared machinery) still fails loudly.
+//! non-default configurations, so all engines drifting *together* (a bug
+//! in shared machinery) still fails loudly.
 
 use dalorex::baseline::Workload;
 use dalorex::graph::generators::rmat::RmatConfig;
 use dalorex::graph::CsrGraph;
 use dalorex::noc::Topology;
-use dalorex::sim::config::{BarrierMode, GridConfig, SchedulingPolicy, SimConfigBuilder};
+use dalorex::sim::config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfigBuilder};
 use dalorex::sim::{Simulation, VertexPlacement};
 
 fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> u64 {
     let kernel = workload.kernel();
-    let skip = sim.run(kernel.as_ref()).unwrap();
-    let ticked = sim.run_ticked(kernel.as_ref()).unwrap();
-    let reference = sim.run_reference(kernel.as_ref()).unwrap();
-    for (fast, against) in [(&skip, &reference), (&skip, &ticked)] {
-        assert_eq!(fast.cycles, against.cycles, "{label}: cycles diverged");
-        assert_eq!(fast.output, against.output, "{label}: outputs diverged");
-        assert_eq!(fast.stats, against.stats, "{label}: statistics diverged");
+    let reference = sim.run_with_engine(kernel.as_ref(), Engine::Reference).unwrap();
+    for engine in Engine::ALL {
+        let outcome = sim.run_with_engine(kernel.as_ref(), engine).unwrap();
         assert_eq!(
-            fast.total_energy_j(),
-            against.total_energy_j(),
-            "{label}: energy diverged"
+            outcome.cycles, reference.cycles,
+            "{label}/{engine}: cycles diverged"
+        );
+        assert_eq!(
+            outcome.output, reference.output,
+            "{label}/{engine}: outputs diverged"
+        );
+        assert_eq!(
+            outcome.stats, reference.stats,
+            "{label}/{engine}: statistics diverged"
+        );
+        assert_eq!(
+            outcome.total_energy_j(),
+            reference.total_energy_j(),
+            "{label}/{engine}: energy diverged"
         );
     }
-    skip.cycles
+    reference.cycles
 }
 
 fn graph() -> CsrGraph {
