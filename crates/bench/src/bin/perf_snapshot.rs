@@ -1,0 +1,143 @@
+//! Engine performance snapshot: wall-clock cycles/sec for every cycle
+//! engine on representative workloads, emitted as the repo's
+//! `BENCH_<n>.json` series so engine-throughput regressions are visible
+//! in review diffs.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p dalorex-bench --release --bin perf_snapshot -- \
+//!     [--csv] [--json <path>] [--full]
+//! ```
+//!
+//! Each row runs one (engine, workload) cell `REPS` times and reports the
+//! best wall-clock (least-noise) repetition; `value` in the JSON is
+//! modelled cycles per wall-clock second.  The modelled cycle counts are
+//! engine-independent (the five-engine equivalence square pins that), so
+//! cycles/sec comparisons across engines are exact throughput ratios.
+//!
+//! Two workloads run by default: a light 32x32 SSSP (every engine,
+//! including the reference oracle) and the dense 64x64 SSSP middle (the
+//! event-path engines only — the reference scan takes minutes there and
+//! its ratio is already covered by the light cell).  `--full` adds the
+//! 128x128 dense grid from the `sim_128x128_sssp_dense` microbench pair.
+//!
+//! The parallel rungs' speedup depends on the host:
+//! `std::thread::available_parallelism()` is printed on stderr, and on a
+//! single-core machine `parallel:4` is expected to *lose* to skip (four
+//! sharded tile phases run back-to-back on one core, plus the replay
+//! pass) — the bit-identical schedule is the point, the speedup needs
+//! cores.
+use dalorex_bench::cli::FigureCli;
+use dalorex_bench::report::{Measurement, Table};
+use dalorex_graph::generators::rmat::RmatConfig;
+use dalorex_graph::CsrGraph;
+use dalorex_kernels::SsspKernel;
+use dalorex_sim::config::{Engine, GridConfig, SimConfigBuilder};
+use dalorex_sim::Simulation;
+use std::time::Instant;
+
+/// Repetitions per cell; the fastest is reported.
+const REPS: usize = 2;
+
+/// Engines timed on every workload (event-path engines).
+const EVENT_ENGINES: [Engine; 4] = [
+    Engine::Skip,
+    Engine::Calendar,
+    Engine::Parallel { workers: 1 },
+    Engine::Parallel { workers: 4 },
+];
+
+struct Cell {
+    dataset: String,
+    side: usize,
+    graph: CsrGraph,
+    engines: Vec<Engine>,
+}
+
+fn main() {
+    let cli = FigureCli::parse();
+    let full = std::env::args().any(|a| a == "--full");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("host parallelism: {cores} (parallel-engine speedup needs >= its worker count)");
+
+    let mut cells = vec![
+        Cell {
+            dataset: "RMAT-12".to_string(),
+            side: 32,
+            graph: RmatConfig::new(12, 8).seed(11).build().unwrap(),
+            engines: std::iter::once(Engine::Reference)
+                .chain(std::iter::once(Engine::Ticked))
+                .chain(EVENT_ENGINES)
+                .collect(),
+        },
+        Cell {
+            dataset: "RMAT-14".to_string(),
+            side: 64,
+            graph: RmatConfig::new(14, 8).seed(11).build().unwrap(),
+            engines: EVENT_ENGINES.to_vec(),
+        },
+    ];
+    if full {
+        cells.push(Cell {
+            dataset: "RMAT-16".to_string(),
+            side: 128,
+            graph: RmatConfig::new(16, 8).seed(11).build().unwrap(),
+            engines: EVENT_ENGINES.to_vec(),
+        });
+    }
+
+    let mut table = Table::new(vec![
+        "workload", "dataset", "tiles", "engine", "cycles", "best wall (s)", "cycles/sec",
+    ]);
+    let mut measurements = Vec::new();
+
+    for cell in &cells {
+        let config = SimConfigBuilder::new(GridConfig::square(cell.side))
+            .scratchpad_bytes(1 << 20)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &cell.graph).unwrap();
+        for &engine in &cell.engines {
+            let mut cycles = 0;
+            let mut energy_j = 0.0;
+            let mut rejections = 0;
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let started = Instant::now();
+                let outcome = sim.run_with_engine(&SsspKernel::new(0), engine).unwrap();
+                best = best.min(started.elapsed().as_secs_f64());
+                cycles = outcome.cycles;
+                energy_j = outcome.total_energy_j();
+                rejections = outcome.stats.noc.total_injection_rejections();
+            }
+            let throughput = cycles as f64 / best;
+            table.push_row(vec![
+                "SSSP".to_string(),
+                cell.dataset.clone(),
+                (cell.side * cell.side).to_string(),
+                engine.to_string(),
+                cycles.to_string(),
+                format!("{best:.3}"),
+                format!("{throughput:.3e}"),
+            ]);
+            measurements.push(Measurement {
+                experiment: "engine-throughput".to_string(),
+                workload: "SSSP".to_string(),
+                dataset: cell.dataset.clone(),
+                configuration: format!("{} tiles, engine {engine}", cell.side * cell.side),
+                cycles,
+                energy_j,
+                value: throughput,
+                endpoint_drains: 1,
+                rejected_injections: rejections,
+            });
+        }
+    }
+
+    table.print(
+        &format!("Engine throughput snapshot (modelled cycles per wall-clock second, host parallelism {cores})"),
+        cli.csv,
+    );
+    cli.write_json_if_requested(&measurements);
+    cli.report_wall_clock();
+}

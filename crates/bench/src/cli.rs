@@ -10,13 +10,30 @@
 //!   `DALOREX_MAX_SIDE`).
 //! * `--drains <a,b,...>` — endpoint-bandwidth sweep (messages per tile
 //!   per cycle).
-//! * `--engine <reference|ticked|skip|calendar>` — the cycle engine to
-//!   drive every run with.  All engines model the identical schedule, so
-//!   the printed figures do not change; the flag exists for A/B *timing*
-//!   of the big sweeps (run the same figure twice with different engines
-//!   and compare the wall-clock line each binary prints on stderr).
+//! * `--engine <reference|ticked|skip|calendar|parallel[:N]>` — the cycle
+//!   engine to drive every run with (`parallel:N` pins the worker-pool
+//!   size; bare `parallel` auto-detects it).  All engines model the
+//!   identical schedule, so the printed figures do not change; the flag
+//!   exists for A/B *timing* of the big sweeps (run the same figure twice
+//!   with different engines and compare the wall-clock line each binary
+//!   prints on stderr).  The `DALOREX_ENGINE` environment variable
+//!   supplies a default when the flag is absent — handy for timing a whole
+//!   figure pipeline without editing every invocation — and the flag wins
+//!   when both are given.
 //!
 //! Parse once with [`FigureCli::parse`] at the top of `main`.
+//!
+//! # Error policy
+//!
+//! A malformed value for a flag that selects *what gets measured* aborts
+//! with exit code 2 and a single diagnostic on stderr: silently measuring
+//! the wrong configuration (or timing the wrong engine under an A/B
+//! label) is exactly the mistake these flags exist to avoid.  This covers
+//! `--engine` (unknown name, missing or empty value, bad env default) and
+//! `--drains` (missing value or no valid entry).  Individually invalid
+//! `--drains` entries alongside valid ones are dropped with a warning so a
+//! long sweep survives one typo, but the run never proceeds on an empty
+//! sweep.
 
 use dalorex_sim::Engine;
 use std::time::Instant;
@@ -39,45 +56,73 @@ pub struct FigureCli {
     pub json: Option<String>,
     /// `--max-side <n>`: sweep cap override, if given.
     pub max_side: Option<usize>,
-    /// `--engine <name>`: the cycle engine every run uses (default
-    /// [`Engine::Skip`]).
+    /// `--engine <name>` (or the `DALOREX_ENGINE` default): the cycle
+    /// engine every run uses (default [`Engine::Skip`]).
     pub engine: Engine,
     drains: Option<Vec<usize>>,
     started: Instant,
 }
 
+/// Outcome of looking a flag up in an argument list: distinguishes "the
+/// user never mentioned the flag" from "the flag is there but the value
+/// is not" so the two produce different diagnostics.
+#[derive(Debug, PartialEq, Eq)]
+enum FlagLookup {
+    /// The flag does not appear.
+    Absent,
+    /// The flag appears with no usable value: bare at the end of the
+    /// line, followed by another flag, or written `--flag=` with nothing
+    /// after the `=`.
+    ValueMissing,
+    /// The flag appears with this value.
+    Value(String),
+}
+
 impl FigureCli {
-    /// Parses the common flags from the process arguments.  Invalid values
-    /// are reported on stderr and fall back to the defaults rather than
-    /// silently measuring the wrong configuration — except `--engine`,
-    /// where a typo aborts (an A/B timing run with the wrong engine is
-    /// exactly the silent mistake the flag exists to avoid).
+    /// Parses the common flags from the process arguments and the
+    /// `DALOREX_ENGINE` environment default.  See the module docs for the
+    /// error policy; on a fatal parse error the single diagnostic goes to
+    /// stderr and the process exits with code 2.
     pub fn parse() -> Self {
-        let engine = match flag_value("engine") {
-            None if std::env::args().any(|a| a == "--engine") => {
-                // The flag is present but its value is missing (or the next
-                // token is another flag): aborting beats silently timing
-                // the default engine under the wrong label.
-                eprintln!("--engine requires a value (reference, ticked, skip or calendar)");
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let env_engine = std::env::var("DALOREX_ENGINE").ok();
+        match Self::parse_from(&args, env_engine.as_deref()) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("{message}");
                 std::process::exit(2);
             }
-            None => Engine::default(),
-            Some(name) => match name.parse() {
-                Ok(engine) => engine,
-                Err(err) => {
-                    eprintln!("{err}");
-                    std::process::exit(2);
-                }
+        }
+    }
+
+    /// The testable core of [`FigureCli::parse`]: pure over an argument
+    /// slice (without the program name) and an optional `DALOREX_ENGINE`
+    /// value, returning the diagnostic instead of exiting.
+    fn parse_from(args: &[String], env_engine: Option<&str>) -> Result<Self, String> {
+        let engine = match lookup_flag(args, "engine") {
+            FlagLookup::Value(name) => name.parse::<Engine>()?,
+            FlagLookup::ValueMissing => return Err(engine_value_missing()),
+            FlagLookup::Absent => match env_engine {
+                // The env default obeys the same never-silently-mislabel
+                // rule as the flag: a typo'd DALOREX_ENGINE aborts.
+                Some(name) => name
+                    .parse()
+                    .map_err(|err: String| format!("DALOREX_ENGINE: {err}"))?,
+                None => Engine::default(),
             },
         };
-        FigureCli {
-            csv: std::env::args().any(|a| a == "--csv"),
-            json: flag_value("json"),
-            max_side: max_side_flag(),
+        Ok(FigureCli {
+            csv: args.iter().any(|a| a == "--csv"),
+            json: match lookup_flag(args, "json") {
+                FlagLookup::Value(path) => Some(path),
+                FlagLookup::ValueMissing => return Err("--json requires a path".to_string()),
+                FlagLookup::Absent => None,
+            },
+            max_side: max_side_flag(args),
             engine,
-            drains: drains_flag(),
+            drains: drains_flag(args)?,
             started: Instant::now(),
-        }
+        })
     }
 
     /// The `--drains` sweep, or `[1]` (the paper's single-port endpoint)
@@ -125,35 +170,64 @@ impl FigureCli {
     }
 }
 
-/// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
-/// command line, if present.
-pub fn flag_value(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let assigned = format!("--{name}=");
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == flag {
-            // A following token that is itself a flag means the value was
-            // forgotten; surface that instead of consuming the other flag.
-            let value = args.next().filter(|v| !v.starts_with("--"));
-            if value.is_none() {
-                eprintln!("flag {flag} is missing its value");
-            }
-            return value;
-        }
-        if let Some(value) = arg.strip_prefix(&assigned) {
-            return Some(value.to_string());
-        }
-    }
-    None
+/// The one `--engine`-without-a-value diagnostic (missing value and empty
+/// `--engine=` share it).
+fn engine_value_missing() -> String {
+    "--engine requires a value (reference, ticked, skip, calendar or parallel[:N])".to_string()
 }
 
-/// Parses the `--drains <a,b,...>` flag into a sweep, if given.  Invalid
-/// or zero entries are dropped with a warning on stderr so a typo'd sweep
-/// never silently measures the wrong configurations; an entirely invalid
-/// list counts as absent.
-fn drains_flag() -> Option<Vec<usize>> {
-    let list = flag_value("drains")?;
+/// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
+/// process command line, if present.  Unlike [`FigureCli::parse`] this
+/// cannot distinguish a missing flag from a missing value; it exists for
+/// ad-hoc consumers (the microbench harness) — the figure binaries go
+/// through `FigureCli`.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lookup_flag(&args, name) {
+        FlagLookup::Value(value) => Some(value),
+        _ => None,
+    }
+}
+
+/// Looks `--<name>` up in `args`, accepting both the two-token and the
+/// `--<name>=<value>` spellings.
+fn lookup_flag(args: &[String], name: &str) -> FlagLookup {
+    let flag = format!("--{name}");
+    let assigned = format!("--{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if *arg == flag {
+            // A following token that is itself a flag means the value was
+            // forgotten; surface that instead of consuming the other flag.
+            return match iter.next().filter(|v| !v.starts_with("--")) {
+                Some(value) => FlagLookup::Value(value.clone()),
+                None => FlagLookup::ValueMissing,
+            };
+        }
+        if let Some(value) = arg.strip_prefix(&assigned) {
+            if value.is_empty() {
+                return FlagLookup::ValueMissing;
+            }
+            return FlagLookup::Value(value.to_string());
+        }
+    }
+    FlagLookup::Absent
+}
+
+/// Parses the `--drains <a,b,...>` flag into a sweep, if given.
+/// Individually invalid or zero entries are dropped with a warning; a
+/// `--drains` that yields *no* valid entry (including a missing value) is
+/// fatal — the run must never proceed on a sweep other than the one the
+/// user asked for.
+fn drains_flag(args: &[String]) -> Result<Option<Vec<usize>>, String> {
+    let list = match lookup_flag(args, "drains") {
+        FlagLookup::Absent => return Ok(None),
+        FlagLookup::ValueMissing => {
+            return Err("--drains requires a value (a comma-separated list of positive integers)"
+                .to_string())
+        }
+        FlagLookup::Value(list) => list,
+    };
     let mut parsed = Vec::new();
     for entry in list.split(',') {
         match entry.trim().parse::<usize>() {
@@ -162,18 +236,29 @@ fn drains_flag() -> Option<Vec<usize>> {
         }
     }
     if parsed.is_empty() {
-        None
-    } else {
-        Some(parsed)
+        return Err(format!(
+            "--drains {list:?} contains no valid entry (want a comma-separated list of \
+             positive integers)"
+        ));
     }
+    Ok(Some(parsed))
 }
 
 /// Parses the `--max-side <n>` flag overriding the `DALOREX_MAX_SIDE`
 /// environment variable, so one invocation can push a sweep to 32x32 or
 /// 64x64 grids without touching the environment.  An unparsable value is
-/// reported on stderr rather than silently falling back to the default.
-fn max_side_flag() -> Option<usize> {
-    let value = flag_value("max-side")?;
+/// reported on stderr rather than silently falling back to the default
+/// (the sweep cap only bounds how far a sweep goes — it cannot mislabel a
+/// measurement — so it stays a warning, not an abort).
+fn max_side_flag(args: &[String]) -> Option<usize> {
+    let value = match lookup_flag(args, "max-side") {
+        FlagLookup::Absent => return None,
+        FlagLookup::ValueMissing => {
+            eprintln!("ignoring --max-side with no value (want a positive integer)");
+            return None;
+        }
+        FlagLookup::Value(value) => value,
+    };
     match value.parse::<usize>() {
         Ok(side) if side > 0 => Some(side),
         _ => {
@@ -187,6 +272,10 @@ fn max_side_flag() -> Option<usize> {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn defaults_when_no_flags_are_passed() {
         // The test harness never passes the figure flags.
@@ -198,5 +287,103 @@ mod tests {
         assert_eq!(cli.drains(), vec![1]);
         assert_eq!(cli.drains_or(&[FABRIC_BOUND_DRAINS]), vec![2]);
         assert_eq!(flag_value("no-such-flag"), None);
+    }
+
+    #[test]
+    fn parses_engine_and_drains() {
+        let cli = FigureCli::parse_from(
+            &args(&["--engine", "calendar", "--drains", "1,2,4", "--csv"]),
+            None,
+        )
+        .unwrap();
+        assert!(cli.csv);
+        assert_eq!(cli.engine, Engine::Calendar);
+        assert_eq!(cli.drains(), vec![1, 2, 4]);
+
+        let cli = FigureCli::parse_from(&args(&["--engine=parallel:3"]), None).unwrap();
+        assert_eq!(cli.engine, Engine::Parallel { workers: 3 });
+    }
+
+    #[test]
+    fn engine_without_value_is_one_fatal_diagnostic() {
+        // Bare flag at the end of the line, flag followed by another
+        // flag, and the `--engine=` spelling all produce the same single
+        // message (the old parser printed two contradictory lines for the
+        // first two and a bare parse error for the third).
+        let expected = engine_value_missing();
+        for case in [
+            args(&["--engine"]),
+            args(&["--engine", "--csv"]),
+            args(&["--engine="]),
+        ] {
+            let err = FigureCli::parse_from(&case, None).unwrap_err();
+            assert_eq!(err, expected, "case: {case:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_fatal() {
+        let err = FigureCli::parse_from(&args(&["--engine", "warp"]), None).unwrap_err();
+        assert!(err.contains("warp"), "diagnostic names the bad value: {err}");
+        let err = FigureCli::parse_from(&args(&["--engine", "parallel:zero"]), None).unwrap_err();
+        assert!(err.contains("zero"), "diagnostic names the bad count: {err}");
+    }
+
+    #[test]
+    fn env_engine_is_the_default_and_the_flag_wins() {
+        let cli = FigureCli::parse_from(&[], Some("calendar")).unwrap();
+        assert_eq!(cli.engine, Engine::Calendar);
+        let cli =
+            FigureCli::parse_from(&args(&["--engine", "ticked"]), Some("calendar")).unwrap();
+        assert_eq!(cli.engine, Engine::Ticked);
+        // A broken env default must not silently fall back — unless the
+        // flag overrides it, in which case the env value is never parsed.
+        let err = FigureCli::parse_from(&[], Some("warp")).unwrap_err();
+        assert!(err.starts_with("DALOREX_ENGINE:"), "{err}");
+        let cli = FigureCli::parse_from(&args(&["--engine", "skip"]), Some("warp")).unwrap();
+        assert_eq!(cli.engine, Engine::Skip);
+    }
+
+    #[test]
+    fn entirely_invalid_drains_list_is_fatal() {
+        // The old parser warned per entry and then silently fell back to
+        // the default sweep.
+        for case in [
+            args(&["--drains", "x,y"]),
+            args(&["--drains", "0"]),
+            args(&["--drains", ""]),
+            args(&["--drains"]),
+            args(&["--drains", "--csv"]),
+        ] {
+            let err = FigureCli::parse_from(&case, None).unwrap_err();
+            assert!(err.contains("--drains"), "case {case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn partially_invalid_drains_list_keeps_the_valid_entries() {
+        let cli = FigureCli::parse_from(&args(&["--drains", "1,oops,4"]), None).unwrap();
+        assert_eq!(cli.drains(), vec![1, 4]);
+    }
+
+    #[test]
+    fn lookup_distinguishes_absent_from_value_missing() {
+        assert_eq!(lookup_flag(&[], "engine"), FlagLookup::Absent);
+        assert_eq!(
+            lookup_flag(&args(&["--engine"]), "engine"),
+            FlagLookup::ValueMissing
+        );
+        assert_eq!(
+            lookup_flag(&args(&["--engine="]), "engine"),
+            FlagLookup::ValueMissing
+        );
+        assert_eq!(
+            lookup_flag(&args(&["--engine", "skip"]), "engine"),
+            FlagLookup::Value("skip".to_string())
+        );
+        assert_eq!(
+            lookup_flag(&args(&["--engine=skip"]), "engine"),
+            FlagLookup::Value("skip".to_string())
+        );
     }
 }

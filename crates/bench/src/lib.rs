@@ -24,11 +24,13 @@
 //! invocation) and `--drains <a,b,...>` (sweep the endpoint bandwidth,
 //! messages per tile per cycle); the drain budget and the NoC's
 //! injection-rejection count are emitted into the JSON report.  Every
-//! figure binary takes `--engine <reference|ticked|skip|calendar>` to
-//! select the cycle engine — the tables are engine-independent (the
-//! schedules are bit-identical), so the flag exists for A/B wall-clock
-//! timing via the stderr line each binary prints.  `docs/FIGURES.md` maps
-//! every binary to its paper figure, flags and output shape.
+//! figure binary takes `--engine <reference|ticked|skip|calendar|parallel[:N]>`
+//! to select the cycle engine (with `DALOREX_ENGINE` as the environment
+//! default when the flag is absent) — the tables are engine-independent
+//! (the schedules are bit-identical), so the flag exists for A/B
+//! wall-clock timing via the stderr line each binary prints.
+//! `docs/FIGURES.md` maps every binary to its paper figure, flags and
+//! output shape.
 //!
 //! The crate itself is thin: [`cli`] owns the shared flag parsing,
 //! [`datasets`] builds the catalogued graphs at reproduction scale,
@@ -43,7 +45,12 @@
 //! ≥2x acceptance case for the hot-path overhaul), and its
 //! `sim_64x64_sssp_dense/engine_*` pair measures the calendar engine
 //! against the skip engine on the dense 64x64 SSSP middle (the ≥1.3x
-//! acceptance case for the calendar router scheduler).
+//! acceptance case for the calendar router scheduler).  Its
+//! `sim_128x128_sssp_dense/engine_*` rungs measure the parallel engine
+//! (multi-worker and 1-worker) against the calendar and skip engines on
+//! dense 128x128 SSSP — the ≥2x-at-4-workers acceptance case for the
+//! deterministic parallel engine (needs a machine with at least 4 cores
+//! to manifest).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -89,6 +89,8 @@ use crate::stats::{NocStats, UtilizationGrid};
 use crate::topology::{Port, RoutingGrid};
 use crate::{ChannelId, NocConfig, NocError, RouterScheduler, TileId};
 
+pub mod shard;
+
 /// Number of calendar bucket slots (a ring indexed by `cycle % WIDTH`).
 /// Due stamps never lie more than one maximal serialization
 /// ([`crate::MAX_FLITS`] cycles) in the future, so any width beyond that

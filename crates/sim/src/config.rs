@@ -58,12 +58,13 @@ pub enum SchedulingPolicy {
 
 /// Which cycle engine drives a simulation run.
 ///
-/// All four engines produce **bit-identical** modelled schedules, outputs
+/// All five engines produce **bit-identical** modelled schedules, outputs
 /// and statistics — the cross-crate equivalence suite pins the full square
 /// — and differ only in simulator wall-clock.  Select one via
 /// [`SimConfigBuilder::engine`] (or per run with
 /// `Simulation::run_with_engine`); the figure binaries expose it as
-/// `--engine <reference|ticked|skip|calendar>` for A/B timing.
+/// `--engine <reference|ticked|skip|calendar|parallel[:N]>` for A/B
+/// timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// The preserved pre-overhaul tile path (full queue scans, per-pop
@@ -84,16 +85,31 @@ pub enum Engine {
     /// the win on dense regimes where deliveries land nearly every cycle
     /// and whole-chip skipping cannot help.
     Calendar,
+    /// `Calendar` with the per-cycle tile phase fanned out over a
+    /// persistent worker pool: tiles and their routers are sharded into
+    /// contiguous ranges, each worker advances its shard's endpoints for
+    /// the cycle, and the cross-shard side effects every endpoint
+    /// operation would have had on shared network state are recorded and
+    /// replayed in exact arbitration order at the epoch barrier — so the
+    /// schedule stays bit-identical to the single-threaded engines.
+    /// `workers == 0` means "one worker per available core".
+    Parallel {
+        /// Worker threads in the pool (0 = auto-detect from the host).
+        workers: usize,
+    },
 }
 
 impl Engine {
     /// Every engine, in oracle-to-fastest order (the order the equivalence
-    /// square iterates).
-    pub const ALL: [Engine; 4] = [
+    /// square iterates).  The parallel entry uses auto worker detection;
+    /// explicit worker counts are additional configurations of the same
+    /// engine.
+    pub const ALL: [Engine; 5] = [
         Engine::Reference,
         Engine::Ticked,
         Engine::Skip,
         Engine::Calendar,
+        Engine::Parallel { workers: 0 },
     ];
 
     /// The engine's command-line name (`--engine <name>`).
@@ -103,6 +119,7 @@ impl Engine {
             Engine::Ticked => "ticked",
             Engine::Skip => "skip",
             Engine::Calendar => "calendar",
+            Engine::Parallel { .. } => "parallel",
         }
     }
 }
@@ -116,16 +133,34 @@ impl std::str::FromStr for Engine {
             "ticked" | "tick" => Ok(Engine::Ticked),
             "skip" => Ok(Engine::Skip),
             "calendar" => Ok(Engine::Calendar),
-            other => Err(format!(
-                "unknown engine {other:?} (want reference, ticked, skip or calendar)"
-            )),
+            "parallel" => Ok(Engine::Parallel { workers: 0 }),
+            other => {
+                if let Some(count) = other.strip_prefix("parallel:") {
+                    return match count.parse::<usize>() {
+                        Ok(workers) => Ok(Engine::Parallel { workers }),
+                        Err(_) => Err(format!(
+                            "invalid worker count {count:?} in engine {other:?} \
+                             (want parallel:<positive integer>)"
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unknown engine {other:?} (want reference, ticked, skip, calendar \
+                     or parallel[:N])"
+                ))
+            }
         }
     }
 }
 
 impl std::fmt::Display for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            Engine::Parallel { workers } if *workers > 0 => {
+                write!(f, "parallel:{workers}")
+            }
+            _ => f.write_str(self.name()),
+        }
     }
 }
 

@@ -54,7 +54,13 @@ use crate::tile::{distribute_graph, TileCsr, TileState};
 use crate::tsu::Scheduler;
 use crate::area::{AreaConstants, AreaModel};
 use dalorex_graph::CsrGraph;
-use dalorex_noc::{Message, Network, NocConfig, RouterScheduler};
+use dalorex_noc::{Message, Network, NocConfig, RouterScheduler, TileEndpoint};
+
+// The parallel engine's worker pool.  The one `allow(unsafe_code)` island
+// in the crate: a type-erased per-cycle batch pointer handed to persistent
+// workers under a mutex (see `par.rs` for the safety argument).
+#[allow(unsafe_code)]
+mod par;
 
 /// Result of a completed simulation run.
 #[derive(Debug, Clone)]
@@ -182,6 +188,28 @@ struct InjectPark {
     /// Whether every inject-ready channel is parked (the tile's inject
     /// step is then a pure stall until the drain version moves).
     all_ready_parked: bool,
+}
+
+/// Everything an engine builds before entering its cycle loop: the kernel's
+/// declarations, the bootstrapped tiles, the network, and the dense
+/// engine-side tracking state.  Factored out of `run_with` so the parallel
+/// engine starts from the byte-identical initial state as the
+/// single-threaded engines (any drift here would break the five-engine
+/// equivalence square before the first cycle).
+struct EngineState {
+    tasks: Vec<TaskDecl>,
+    channels: Vec<ChannelDecl>,
+    arrays: Vec<crate::kernel::LocalArrayDecl>,
+    tiles: Vec<TileState>,
+    network: Network,
+    schedulers: Vec<Scheduler>,
+    barrier_mode: bool,
+    hot: Vec<HotTile>,
+    parks: Vec<InjectPark>,
+    active: Vec<bool>,
+    active_list: Vec<usize>,
+    active_scratch: Vec<usize>,
+    delivery_events: Vec<usize>,
 }
 
 /// A configured Dalorex simulation, ready to run kernels over one dataset.
@@ -343,9 +371,13 @@ impl Simulation {
         self.run_with(kernel, Engine::Reference)
     }
 
-    fn run_with(&self, kernel: &dyn Kernel, engine: Engine) -> Result<SimOutcome, SimError> {
-        let reference = engine == Engine::Reference;
-        let skip_engine = matches!(engine, Engine::Skip | Engine::Calendar);
+    /// Validates the kernel's declarations and builds the initial
+    /// [`EngineState`] every engine starts its cycle loop from.
+    fn prepare(
+        &self,
+        kernel: &dyn Kernel,
+        router_scheduler: RouterScheduler,
+    ) -> Result<EngineState, SimError> {
         let tasks = kernel.tasks();
         let channels = kernel.channels();
         let arrays = kernel.arrays();
@@ -380,14 +412,10 @@ impl Simulation {
             .with_buffer_flits(self.config.noc_buffer_flits)
             .with_ejection_buffer_flits(self.config.noc_ejection_flits)
             .with_endpoint_drains(self.config.endpoint_drains_per_cycle)
-            .with_router_scheduler(if engine == Engine::Calendar {
-                RouterScheduler::Calendar
-            } else {
-                RouterScheduler::Scan
-            });
-        let mut network = Network::new(noc_config);
+            .with_router_scheduler(router_scheduler);
+        let network = Network::new(noc_config);
 
-        let mut schedulers: Vec<Scheduler> = (0..num_tiles)
+        let schedulers: Vec<Scheduler> = (0..num_tiles)
             .map(|_| Scheduler::new(self.config.scheduling))
             .collect();
 
@@ -395,16 +423,56 @@ impl Simulation {
         // Dense action snapshots for the fast path's no-op skip (see
         // `HotTile`); the reference path ignores them, preserving its
         // pre-overhaul cost profile.
-        let mut hot: Vec<HotTile> = tiles
-            .iter()
-            .map(|t| HotTile::snapshot(t, false))
-            .collect();
-        let mut parks: Vec<InjectPark> = vec![InjectPark::default(); num_tiles];
-        let mut active: Vec<bool> = tiles.iter().map(|t| !t.is_idle(0)).collect();
-        let mut active_list: Vec<usize> =
-            (0..num_tiles).filter(|&t| active[t]).collect();
-        let mut active_scratch: Vec<usize> = Vec::new();
-        let mut delivery_events: Vec<usize> = Vec::new();
+        let hot: Vec<HotTile> = tiles.iter().map(|t| HotTile::snapshot(t, false)).collect();
+        let parks: Vec<InjectPark> = vec![InjectPark::default(); num_tiles];
+        let active: Vec<bool> = tiles.iter().map(|t| !t.is_idle(0)).collect();
+        let active_list: Vec<usize> = (0..num_tiles).filter(|&t| active[t]).collect();
+
+        Ok(EngineState {
+            tasks,
+            channels,
+            arrays,
+            tiles,
+            network,
+            schedulers,
+            barrier_mode,
+            hot,
+            parks,
+            active,
+            active_list,
+            active_scratch: Vec::new(),
+            delivery_events: Vec::new(),
+        })
+    }
+
+    fn run_with(&self, kernel: &dyn Kernel, engine: Engine) -> Result<SimOutcome, SimError> {
+        if let Engine::Parallel { workers } = engine {
+            return self.run_parallel(kernel, workers);
+        }
+        let reference = engine == Engine::Reference;
+        let skip_engine = matches!(engine, Engine::Skip | Engine::Calendar);
+        let EngineState {
+            tasks,
+            channels,
+            arrays,
+            mut tiles,
+            mut network,
+            mut schedulers,
+            barrier_mode,
+            mut hot,
+            mut parks,
+            mut active,
+            mut active_list,
+            mut active_scratch,
+            mut delivery_events,
+        } = self.prepare(
+            kernel,
+            if engine == Engine::Calendar {
+                RouterScheduler::Calendar
+            } else {
+                RouterScheduler::Scan
+            },
+        )?;
 
         let mut cycle: u64 = 0;
         let mut epochs: u64 = 0;
@@ -658,7 +726,23 @@ impl Simulation {
             }
         }
 
-        // Gather statistics and output.
+        self.finish_outcome(kernel, &arrays, &tiles, &network, cycle, epochs)
+    }
+
+    /// Gathers statistics, output and the derived energy/area figures into
+    /// the final [`SimOutcome`] — shared by every engine (the parallel
+    /// engine reaches this point with all shard effects already merged back
+    /// into the one `Network` and the one tile vector, so nothing here is
+    /// engine-specific).
+    fn finish_outcome(
+        &self,
+        kernel: &dyn Kernel,
+        arrays: &[crate::kernel::LocalArrayDecl],
+        tiles: &[TileState],
+        network: &Network,
+        cycle: u64,
+        epochs: u64,
+    ) -> Result<SimOutcome, SimError> {
         let mut stats = SimStats {
             cycles: cycle,
             epochs: epochs.max(1),
@@ -667,7 +751,7 @@ impl Simulation {
             noc: network.stats().clone(),
             ..SimStats::default()
         };
-        for tile in &tiles {
+        for tile in tiles {
             stats.absorb_tile(&tile.counters);
         }
         stats.router_busy_fraction = network.router_utilization().values().to_vec();
@@ -676,7 +760,7 @@ impl Simulation {
         stats.activity.noc_flit_mm =
             network.stats().flit_tile_spans * self.area_model.tile_pitch_mm();
 
-        let output = self.gather_output(kernel, &arrays, &tiles)?;
+        let output = self.gather_output(kernel, arrays, tiles)?;
         let energy = self.energy_model.breakdown(&stats.activity);
         let seconds = self.energy_model.seconds(cycle);
         let average_power_w = self.energy_model.average_power_watts(&stats.activity);
@@ -710,15 +794,20 @@ impl Simulation {
     /// [`Simulation::tile_cycle_reference`]; kernels whose declarations
     /// exceed the mask widths (more than 32 channels for the drain mask, 64
     /// for the inject mask) fall back to the reference loops.
+    ///
+    /// Generic over [`TileEndpoint`] so the same code drives both the whole
+    /// [`Network`] (single-threaded engines) and an
+    /// [`dalorex_noc::EndpointShard`] (parallel engine) — the generic is
+    /// what guarantees the parallel tile phase cannot diverge.
     #[allow(clippy::too_many_arguments)]
-    fn tile_cycle(
+    fn tile_cycle<N: TileEndpoint>(
         &self,
         kernel: &dyn Kernel,
         tasks: &[TaskDecl],
         channels: &[ChannelDecl],
         tile: &mut TileState,
         scheduler: &mut Scheduler,
-        network: &mut Network,
+        network: &mut N,
         park: &mut InjectPark,
         delivery_pending: bool,
         barrier_mode: bool,
@@ -950,14 +1039,14 @@ impl Simulation {
     /// the counter-maintaining [`TileState`] methods, so they cannot drift
     /// in behaviour — only in cost.
     #[allow(clippy::too_many_arguments)]
-    fn tile_cycle_reference(
+    fn tile_cycle_reference<N: TileEndpoint>(
         &self,
         kernel: &dyn Kernel,
         tasks: &[TaskDecl],
         channels: &[ChannelDecl],
         tile: &mut TileState,
         scheduler: &mut Scheduler,
-        network: &mut Network,
+        network: &mut N,
         barrier_mode: bool,
         cycle: u64,
         total_dispatches: &mut u64,

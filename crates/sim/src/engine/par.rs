@@ -1,0 +1,585 @@
+//! The parallel engine: `run_with`'s cycle loop with the tile phase fanned
+//! out over a persistent worker pool.
+//!
+//! # Execution model
+//!
+//! Every cycle has two halves.  The **network phase** (`Network::cycle`)
+//! is inherently order-dependent — routers are scanned in arbitration
+//! order and a forward this cycle changes what the next router sees — so
+//! it stays sequential on the main thread, driven by the calendar router
+//! scheduler (the fastest sequential scheduler on the dense regimes where
+//! parallelism pays).  The **tile phase** is where the simulator spends
+//! most of its time on large grids, and its per-tile work (drain, inject,
+//! dispatch, kernel task bodies) touches almost exclusively own-tile
+//! state; tiles are sharded into contiguous id ranges, one
+//! [`EndpointShard`] per worker, and each worker advances its tiles
+//! through the exact same generic `tile_cycle` the sequential engines
+//! run.  The few cross-tile side effects (active-list membership,
+//! delivery events, calendar due stamps, waiter wakes) are recorded as
+//! ordered per-tile intents and replayed sequentially by
+//! [`Network::apply_endpoint_effects`] in the frozen walk order, which is
+//! what keeps the schedule — and every statistic — bit-identical to the
+//! four single-threaded engines (see `noc`'s `network::shard` module docs
+//! for the full argument).
+//!
+//! # Pool protocol
+//!
+//! Workers are spawned once per run inside a [`std::thread::scope`] and
+//! parked on a condvar.  Each cycle with a non-empty active list, the
+//! main thread builds one [`WorkBatch`] per worker — disjoint `&mut`
+//! sub-slices of the tile/scheduler/snapshot/park vectors plus the
+//! matching endpoint shard — publishes the batch array under the pool
+//! mutex (bumping the epoch), processes batch 0 itself, then blocks on
+//! the completion condvar until `remaining == 0`.
+//!
+//! # Safety
+//!
+//! This module is the crate's single `allow(unsafe_code)` island.  The
+//! `unsafe` is confined to turning the type-erased batch-array pointer
+//! back into `&mut WorkBatch` references — one disjoint element per
+//! thread.  The argument:
+//!
+//! * **Aliasing**: batch `w` is touched only by thread `w` (worker `w`
+//!   takes exactly index `w`; the main thread takes index 0), and every
+//!   batch holds borrows of *disjoint* ranges of the underlying vectors
+//!   (produced by `split_at_mut` and `Network::endpoint_shards`).  The
+//!   main thread derives its own batch-0 reference from the same erased
+//!   pointer it published, so no reference to the batch array outlives
+//!   the epoch on the publishing side.
+//! * **Lifetime**: workers only dereference the pointer between
+//!   observing a new epoch and decrementing `remaining`, both under the
+//!   pool mutex; the main thread does not drop (or touch) the batch
+//!   array until it has observed `remaining == 0` under that same mutex.
+//! * **Happens-before**: the mutex hand-offs order the main thread's
+//!   batch construction before the workers' reads, and the workers'
+//!   writes before the main thread's merge.
+//! * **Panics**: worker batch processing runs under `catch_unwind`; a
+//!   panic still decrements `remaining` (so the main thread's barrier
+//!   completes) and raises the `panicked` flag, which the main thread
+//!   converts into its own panic after the barrier.  The main thread's
+//!   batch-0 processing is equally caught so an unwinding main thread
+//!   can never drop the batch array while workers are inside it.  A
+//!   shutdown guard flips the `shutdown` flag on every exit path so the
+//!   scope can always join.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use super::*;
+use dalorex_noc::{EndpointShard, ShardBuffers};
+
+/// Loop-invariant inputs of the tile phase, shared by every thread.
+struct TileCtx<'c> {
+    sim: &'c Simulation,
+    kernel: &'c dyn Kernel,
+    tasks: &'c [TaskDecl],
+    channels: &'c [ChannelDecl],
+    barrier_mode: bool,
+}
+
+/// One worker's slice of one cycle's tile phase: disjoint `&mut` views of
+/// the engine vectors for tiles `lo..hi`, the matching endpoint shard, the
+/// walk order restricted to this shard, and the per-shard outputs.
+struct WorkBatch<'a> {
+    lo: usize,
+    cycle: u64,
+    tiles: &'a mut [TileState],
+    schedulers: &'a mut [Scheduler],
+    hot: &'a mut [HotTile],
+    parks: &'a mut [InjectPark],
+    shard: EndpointShard<'a>,
+    /// This shard's tiles from the frozen global walk order, in order.
+    sublist: &'a [usize],
+    /// Per-`sublist`-entry retention flags (the main thread stitches the
+    /// global active list back together from these, in walk order).
+    keep: &'a mut Vec<bool>,
+    /// Minimum next-event cycle over this shard's tiles (skip-engine bound).
+    tile_event_min: u64,
+    /// Task dispatches performed by this shard this cycle.
+    dispatches: u64,
+}
+
+/// Compile-time proof that a batch may cross a thread boundary: everything
+/// it borrows is plain data (no interior mutability, no `Rc`).
+#[allow(dead_code)]
+fn assert_batch_is_send(batch: WorkBatch<'_>) -> impl Send + '_ {
+    batch
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped once per published batch array; workers use it to detect
+    /// fresh work without consuming a token.
+    epoch: u64,
+    /// Type-erased `*mut WorkBatch` of the current epoch's batch array.
+    batch_ptr: usize,
+    batch_count: usize,
+    /// Batches not yet completed by pool workers this epoch (batch 0 is
+    /// the main thread's and never counted).
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled by the main thread when a new epoch is published (and on
+    /// shutdown).
+    go: Condvar,
+    /// Signalled by the last worker to finish an epoch.
+    done: Condvar,
+}
+
+/// Locks the pool state, shrugging off poisoning: the flags themselves are
+/// how panics are propagated, so a poisoned mutex carries no extra signal.
+fn lock(state: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
+    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Sets `shutdown` and wakes the workers on every exit path of the scope
+/// closure — normal return, error return, or unwind — so `thread::scope`
+/// can always join.
+struct ShutdownGuard<'p> {
+    pool: &'p PoolShared,
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.pool.state);
+        st.shutdown = true;
+        drop(st);
+        self.pool.go.notify_all();
+    }
+}
+
+/// A pool worker: waits for an epoch, processes the batch at its index,
+/// reports completion; exits on shutdown.
+fn worker_loop(ctx: &TileCtx<'_>, pool: &PoolShared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (ptr, count) = {
+            let mut st = lock(&pool.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = pool
+                    .go
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            seen_epoch = st.epoch;
+            (st.batch_ptr, st.batch_count)
+        };
+        debug_assert!(index < count, "worker index outside the batch array");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: see the module docs — disjoint index per thread,
+            // lifetime bounded by the epoch barrier, ordering by the pool
+            // mutex.
+            let batch = unsafe { &mut *(ptr as *mut WorkBatch<'_>).add(index) };
+            process_batch(ctx, batch);
+        }));
+        let mut st = lock(&pool.state);
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        let finished = st.remaining == 0;
+        drop(st);
+        if finished {
+            pool.done.notify_all();
+        }
+    }
+}
+
+/// Runs one epoch of the pool over `batches`: publish, process batch 0
+/// inline, barrier.  With a single batch (1 worker) no threads are
+/// involved at all.
+fn run_pool_epoch(ctx: &TileCtx<'_>, pool: &PoolShared, batches: &mut [WorkBatch<'_>]) {
+    let count = batches.len();
+    if count == 1 {
+        process_batch(ctx, &mut batches[0]);
+        return;
+    }
+    let ptr = batches.as_mut_ptr();
+    {
+        let mut st = lock(&pool.state);
+        st.epoch += 1;
+        st.batch_ptr = ptr as usize;
+        st.batch_count = count;
+        st.remaining = count - 1;
+        drop(st);
+        pool.go.notify_all();
+    }
+    // Batch 0 on this thread, through the same erased pointer the workers
+    // use so every live reference into the array has equal standing.
+    // Catch the unwind: this frame must not collapse (dropping `batches`
+    // and everything it borrows) while workers are still inside the array.
+    let main_result = catch_unwind(AssertUnwindSafe(|| {
+        // SAFETY: index 0 is reserved for this thread; see module docs.
+        let batch = unsafe { &mut *ptr };
+        process_batch(ctx, batch);
+    }));
+    let worker_panicked = {
+        let mut st = lock(&pool.state);
+        while st.remaining > 0 {
+            st = pool
+                .done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.panicked
+    };
+    if let Err(payload) = main_result {
+        resume_unwind(payload);
+    }
+    assert!(!worker_panicked, "parallel engine worker panicked");
+}
+
+/// The tile phase for one shard: byte-for-byte the per-tile body of
+/// `run_with`'s fast path (no-op skip, `tile_cycle`, snapshot refresh,
+/// retention, next-event accumulation), against the shard instead of the
+/// whole network.
+fn process_batch(ctx: &TileCtx<'_>, batch: &mut WorkBatch<'_>) {
+    batch.keep.clear();
+    let cycle = batch.cycle;
+    for &t in batch.sublist {
+        let i = t - batch.lo;
+        let h = batch.hot[i];
+        let dispatchable = h.pu_busy_until <= cycle && h.task_ready;
+        let inject_live = h.cq_ready
+            && (!batch.parks[i].all_ready_parked
+                || batch.shard.buffer_drain_version(t) != batch.parks[i].version);
+        if !h.delivery_pending && !dispatchable && !inject_live {
+            if h.cq_ready {
+                batch
+                    .shard
+                    .count_injection_backpressure(t, u64::from(batch.parks[i].ready_count));
+            }
+            batch.keep.push(h.nonidle_after(cycle));
+            batch.tile_event_min = batch.tile_event_min.min(tile_next_event(&h, cycle));
+            continue;
+        }
+        ctx.sim.tile_cycle(
+            ctx.kernel,
+            ctx.tasks,
+            ctx.channels,
+            &mut batch.tiles[i],
+            &mut batch.schedulers[i],
+            &mut batch.shard,
+            &mut batch.parks[i],
+            h.delivery_pending,
+            ctx.barrier_mode,
+            cycle,
+            &mut batch.dispatches,
+        );
+        let leftover_deliveries = batch.shard.delivered_waiting(t) > 0;
+        batch.hot[i] = HotTile::snapshot(&batch.tiles[i], leftover_deliveries);
+        batch
+            .keep
+            .push(!batch.tiles[i].is_idle(cycle + 1) || leftover_deliveries);
+        let ran_event =
+            if leftover_deliveries || (batch.hot[i].cq_ready && !batch.parks[i].all_ready_parked) {
+                cycle + 1
+            } else {
+                tile_next_event(&batch.hot[i], cycle)
+            };
+        batch.tile_event_min = batch.tile_event_min.min(ran_event);
+    }
+}
+
+impl Simulation {
+    /// The [`Engine::Parallel`] entry point; see the module docs.
+    pub(super) fn run_parallel(
+        &self,
+        kernel: &dyn Kernel,
+        workers: usize,
+    ) -> Result<SimOutcome, SimError> {
+        let EngineState {
+            tasks,
+            channels,
+            arrays,
+            mut tiles,
+            mut network,
+            mut schedulers,
+            barrier_mode,
+            mut hot,
+            mut parks,
+            mut active,
+            mut active_list,
+            mut active_scratch,
+            mut delivery_events,
+        } = self.prepare(kernel, RouterScheduler::Calendar)?;
+
+        let num_tiles = self.placement.num_tiles();
+        let workers = match workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(num_tiles.max(1));
+
+        // Contiguous near-equal tile ranges, one per worker, and the
+        // reverse tile -> worker map used to stitch results back together.
+        let base = num_tiles / workers;
+        let rem = num_tiles % workers;
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(workers);
+        let mut next_lo = 0usize;
+        for w in 0..workers {
+            let hi = next_lo + base + usize::from(w < rem);
+            ranges.push((next_lo, hi));
+            next_lo = hi;
+        }
+        let mut shard_of = vec![0u32; num_tiles];
+        for (w, &(lo, hi)) in ranges.iter().enumerate() {
+            for entry in &mut shard_of[lo..hi] {
+                *entry = w as u32;
+            }
+        }
+
+        let mut shard_bufs: Vec<ShardBuffers> =
+            (0..workers).map(|_| ShardBuffers::default()).collect();
+        let mut sublists: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        let mut keeps: Vec<Vec<bool>> = vec![Vec::new(); workers];
+        let mut cursors: Vec<usize> = vec![0; workers];
+
+        let ctx = TileCtx {
+            sim: self,
+            kernel,
+            tasks: &tasks,
+            channels: &channels,
+            barrier_mode,
+        };
+        let pool = PoolShared {
+            state: Mutex::new(PoolState::default()),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        };
+
+        let mut cycle: u64 = 0;
+        let mut epochs: u64 = 0;
+        let mut epoch_offset: u64 = 0;
+        let mut last_progress_marker = (0u64, 0u64);
+        let mut last_progress_cycle = 0u64;
+        let mut total_dispatches = 0u64;
+
+        std::thread::scope(|scope| {
+            let _guard = ShutdownGuard { pool: &pool };
+            for w in 1..workers {
+                let ctx = &ctx;
+                let pool = &pool;
+                scope.spawn(move || worker_loop(ctx, pool, w));
+            }
+
+            loop {
+                // Global idle: tiles drained, network drained — identical
+                // to `run_with`.
+                if active_list.is_empty() && network.is_idle() {
+                    let mut epoch_ctx = SimEpochContext {
+                        tiles: &mut tiles,
+                        placement: &self.placement,
+                        barrier_mode,
+                        woken: Vec::new(),
+                    };
+                    let decision = kernel.on_global_idle(epochs as usize, &mut epoch_ctx);
+                    let woken = epoch_ctx.woken;
+                    match decision {
+                        EpochDecision::Finish => break,
+                        EpochDecision::Continue => {
+                            epochs += 1;
+                            cycle += self.config.epoch_broadcast_cycles;
+                            epoch_offset += self.config.epoch_broadcast_cycles;
+                            for tile in woken {
+                                hot[tile] =
+                                    HotTile::snapshot(&tiles[tile], hot[tile].delivery_pending);
+                                if !active[tile] {
+                                    active[tile] = true;
+                                    active_list.push(tile);
+                                }
+                            }
+                            if active_list.is_empty() {
+                                return Err(SimError::Deadlock {
+                                    cycle,
+                                    network_messages: 0,
+                                    queued_invocations: 0,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                }
+
+                // Network phase: sequential, on the main thread.
+                network.cycle();
+                delivery_events.clear();
+                network.drain_delivery_events_into(&mut delivery_events);
+                for &tile in &delivery_events {
+                    hot[tile].delivery_pending = true;
+                    if !active[tile] {
+                        active[tile] = true;
+                        active_list.push(tile);
+                    }
+                }
+
+                // Tile phase: fan the frozen walk order out over the pool.
+                let mut tile_event_min = u64::MAX;
+                debug_assert!(active_scratch.is_empty());
+                std::mem::swap(&mut active_list, &mut active_scratch);
+                if !active_scratch.is_empty() {
+                    for sub in sublists.iter_mut() {
+                        sub.clear();
+                    }
+                    for &t in &active_scratch {
+                        active[t] = false;
+                        sublists[shard_of[t] as usize].push(t);
+                    }
+
+                    let mut batches: Vec<WorkBatch<'_>> = Vec::with_capacity(workers);
+                    {
+                        let shards = network.endpoint_shards(&mut shard_bufs, &ranges);
+                        let mut tiles_rest: &mut [TileState] = &mut tiles;
+                        let mut scheds_rest: &mut [Scheduler] = &mut schedulers;
+                        let mut hot_rest: &mut [HotTile] = &mut hot;
+                        let mut parks_rest: &mut [InjectPark] = &mut parks;
+                        for (w, (shard, keep)) in
+                            shards.into_iter().zip(keeps.iter_mut()).enumerate()
+                        {
+                            let (lo, hi) = ranges[w];
+                            let take = hi - lo;
+                            let (t, rest) = tiles_rest.split_at_mut(take);
+                            tiles_rest = rest;
+                            let (s, rest) = scheds_rest.split_at_mut(take);
+                            scheds_rest = rest;
+                            let (h, rest) = hot_rest.split_at_mut(take);
+                            hot_rest = rest;
+                            let (p, rest) = parks_rest.split_at_mut(take);
+                            parks_rest = rest;
+                            batches.push(WorkBatch {
+                                lo,
+                                cycle,
+                                tiles: t,
+                                schedulers: s,
+                                hot: h,
+                                parks: p,
+                                shard,
+                                sublist: &sublists[w],
+                                keep,
+                                tile_event_min: u64::MAX,
+                                dispatches: 0,
+                            });
+                        }
+                    }
+
+                    run_pool_epoch(&ctx, &pool, &mut batches);
+
+                    for batch in &batches {
+                        tile_event_min = tile_event_min.min(batch.tile_event_min);
+                        total_dispatches += batch.dispatches;
+                    }
+                    drop(batches);
+
+                    // Replay the deferred cross-tile effects in the frozen
+                    // walk order — this is the bit-identity step.
+                    network.apply_endpoint_effects(&active_scratch, &mut shard_bufs);
+
+                    // Stitch the global active list back together in walk
+                    // order from the per-shard retention flags.
+                    for cursor in cursors.iter_mut() {
+                        *cursor = 0;
+                    }
+                    for &t in &active_scratch {
+                        let w = shard_of[t] as usize;
+                        let kept = keeps[w][cursors[w]];
+                        cursors[w] += 1;
+                        if kept {
+                            active[t] = true;
+                            active_list.push(t);
+                        }
+                    }
+                }
+                active_scratch.clear();
+
+                cycle += 1;
+                if cycle >= self.config.max_cycles {
+                    return Err(SimError::CycleLimitExceeded {
+                        limit: self.config.max_cycles,
+                    });
+                }
+
+                // Deadlock watchdog — identical to `run_with`.
+                let marker = (total_dispatches, network.stats().delivered_messages);
+                if marker != last_progress_marker {
+                    last_progress_marker = marker;
+                    last_progress_cycle = cycle;
+                } else if cycle - last_progress_cycle > self.config.watchdog_cycles {
+                    let queued: u64 = tiles
+                        .iter()
+                        .map(|t| t.iqs().iter().map(|q| q.len() as u64).sum::<u64>())
+                        .sum();
+                    return Err(SimError::Deadlock {
+                        cycle,
+                        network_messages: network.in_flight() + network.awaiting_ejection(),
+                        queued_invocations: queued,
+                    });
+                }
+
+                // Skip to the next event — identical to `run_with`'s skip
+                // block (the parallel engine is a skip engine).
+                if !(active_list.is_empty() && network.is_idle()) {
+                    let network_event = network.next_event_cycle().saturating_add(epoch_offset);
+                    let target = network_event.min(tile_event_min);
+                    let deadline = last_progress_cycle + self.config.watchdog_cycles + 1;
+                    let stop = target.min(self.config.max_cycles).min(deadline);
+                    if stop > cycle {
+                        let span = stop - cycle;
+                        let mut kept = 0;
+                        for i in 0..active_list.len() {
+                            let t = active_list[i];
+                            let h = hot[t];
+                            debug_assert!(
+                                !h.delivery_pending,
+                                "a pending delivery forces an event at the current cycle"
+                            );
+                            if h.cq_ready {
+                                let owed = span * u64::from(parks[t].ready_count);
+                                if owed > 0 {
+                                    network.count_injection_backpressure(t, owed);
+                                }
+                            }
+                            if h.queued || h.pu_busy_until > stop {
+                                active_list[kept] = t;
+                                kept += 1;
+                            } else {
+                                active[t] = false;
+                            }
+                        }
+                        active_list.truncate(kept);
+                        network.advance_to(stop - epoch_offset);
+                        cycle = stop;
+                        if cycle >= self.config.max_cycles {
+                            return Err(SimError::CycleLimitExceeded {
+                                limit: self.config.max_cycles,
+                            });
+                        }
+                        if cycle - last_progress_cycle > self.config.watchdog_cycles {
+                            let queued: u64 = tiles
+                                .iter()
+                                .map(|t| t.iqs().iter().map(|q| q.len() as u64).sum::<u64>())
+                                .sum();
+                            return Err(SimError::Deadlock {
+                                cycle,
+                                network_messages: network.in_flight()
+                                    + network.awaiting_ejection(),
+                                queued_invocations: queued,
+                            });
+                        }
+                    }
+                }
+            }
+
+            self.finish_outcome(kernel, &arrays, &tiles, &network, cycle, epochs)
+        })
+    }
+}

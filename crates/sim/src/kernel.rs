@@ -231,7 +231,12 @@ pub enum EpochDecision {
 /// dispatched by the TSU; it must only touch tile-local state through the
 /// provided context (that restriction is what makes every memory operation
 /// local, the core of the paper's execution model).
-pub trait Kernel {
+///
+/// Kernels must be [`Send`] + [`Sync`]: the parallel engine
+/// ([`crate::config::Engine::Parallel`]) shares one kernel reference across
+/// its worker pool.  Task bodies only receive `&self`, so any mutable
+/// kernel-side state would already be a bug under every engine.
+pub trait Kernel: Send + Sync {
     /// Kernel name used in reports ("bfs", "sssp", ...).
     fn name(&self) -> &str;
 

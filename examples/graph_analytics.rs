@@ -6,8 +6,12 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example graph_analytics
+//! cargo run --release --example graph_analytics [-- --engine <name>]
 //! ```
+//!
+//! `--engine` (or `DALOREX_ENGINE`) picks the cycle engine; the schedule
+//! — and therefore every printed number and reference check — is
+//! engine-independent.
 
 use dalorex::baseline::Workload;
 use dalorex::graph::generators::realworld::RealWorldDataset;
@@ -15,7 +19,11 @@ use dalorex::graph::reference;
 use dalorex::sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
 use dalorex::sim::Simulation;
 
+#[path = "common/engine.rs"]
+mod common_engine;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = common_engine::engine_arg();
     // A LiveJournal-shaped scale-free graph at reproduction scale.
     let graph = RealWorldDataset::LiveJournal.config(1 << 12).build()?;
     println!(
@@ -40,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
         let sim = Simulation::new(config, &prepared)?;
         let kernel = workload.kernel();
-        let outcome = sim.run(kernel.as_ref())?;
+        let outcome = sim.run_with_engine(kernel.as_ref(), engine)?;
 
         // Validate each application against its reference implementation.
         let checked = match workload {

@@ -1,0 +1,198 @@
+//! Engine parity at the exact error boundaries.
+//!
+//! The skip-family engines (skip, calendar, parallel) clamp their jumps to
+//! the failure horizons — `max_cycles` and the watchdog deadline
+//! `last_progress_cycle + watchdog_cycles + 1` — so that
+//! [`SimError::CycleLimitExceeded`] and [`SimError::Deadlock`] fire at the
+//! *identical* cycle as when ticking every cycle.  These tests pin that
+//! contract at the boundary itself: limits landing exactly on, one before
+//! and one after the interesting cycle, across all five engines, plus a
+//! property-style sweep of `max_cycles`/`watchdog_cycles` near the event
+//! horizon.  Any off-by-one in the clamp (or in the parallel engine's
+//! merged progress marker) shows up as one engine erroring a cycle early,
+//! a cycle late, or with different queue/message counts in the payload.
+
+use dalorex::graph::generators::rmat::RmatConfig;
+use dalorex::graph::CsrGraph;
+use dalorex::kernels::SsspKernel;
+use dalorex::sim::config::{Engine, GridConfig, SimConfigBuilder};
+use dalorex::sim::kernel::{
+    BootstrapContext, ChannelDecl, EpochContext, EpochDecision, Kernel, LocalArrayDecl,
+    TaskContext, TaskDecl, TaskParams,
+};
+use dalorex::sim::{ArraySpace, SimError, Simulation, VertexPlacement};
+
+/// All five engines plus explicitly sized parallel pools (2 workers, and 3
+/// so the shard boundaries do not divide the tile count evenly).
+fn engines() -> Vec<Engine> {
+    let mut engines = Engine::ALL.to_vec();
+    engines.push(Engine::Parallel { workers: 2 });
+    engines.push(Engine::Parallel { workers: 3 });
+    engines
+}
+
+/// Runs `kernel` under every engine and asserts the result is identical:
+/// either all succeed with the same cycle count and statistics, or all
+/// fail with the exact same [`SimError`] value (`SimError` is
+/// `PartialEq`, so the comparison covers the payload — the cycle the
+/// watchdog fired at, the in-flight message count, the queued
+/// invocations — not just the variant).
+fn assert_error_parity(sim: &Simulation, kernel: &dyn Kernel, label: &str) {
+    let reference = sim.run_with_engine(kernel, Engine::Reference);
+    for engine in engines() {
+        let outcome = sim.run_with_engine(kernel, engine);
+        match (&reference, &outcome) {
+            (Ok(want), Ok(got)) => {
+                assert_eq!(got.cycles, want.cycles, "{label}/{engine}: cycles diverged");
+                assert_eq!(got.stats, want.stats, "{label}/{engine}: stats diverged");
+            }
+            (Err(want), Err(got)) => {
+                assert_eq!(got, want, "{label}/{engine}: errors diverged");
+            }
+            (want, got) => panic!(
+                "{label}/{engine}: reference {} but {engine} {}",
+                if want.is_ok() { "succeeded" } else { "failed" },
+                if got.is_ok() { "succeeded" } else { "failed" },
+            ),
+        }
+    }
+}
+
+fn graph() -> CsrGraph {
+    RmatConfig::new(8, 6).seed(23).build().unwrap()
+}
+
+fn sim_with_limits(graph: &CsrGraph, max_cycles: u64, watchdog_cycles: u64) -> Simulation {
+    let config = SimConfigBuilder::new(GridConfig::square(4))
+        .scratchpad_bytes(1 << 20)
+        .vertex_placement(VertexPlacement::Interleaved)
+        .max_cycles(max_cycles)
+        .watchdog_cycles(watchdog_cycles)
+        .build()
+        .unwrap();
+    Simulation::new(config.clone(), graph).unwrap()
+}
+
+/// The cycle-limit boundary: `max_cycles` landing exactly on, just below
+/// and just above the run's natural completion cycle must produce the
+/// same outcome — success or `CycleLimitExceeded { limit }` — on every
+/// engine.  The skip engines jump straight at the horizon, so this is
+/// where a clamp off-by-one would live.
+#[test]
+fn cycle_limit_fires_identically_at_the_exact_boundary() {
+    let graph = graph();
+    let kernel = SsspKernel::new(0);
+    let completion = sim_with_limits(&graph, u64::MAX / 2, u64::MAX / 4)
+        .run(&kernel)
+        .expect("unlimited run completes")
+        .cycles;
+    for limit in [
+        completion - 2,
+        completion - 1,
+        completion,
+        completion + 1,
+        completion + 17,
+        completion / 2,
+    ] {
+        let sim = sim_with_limits(&graph, limit, u64::MAX / 4);
+        assert_error_parity(&sim, &kernel, &format!("max_cycles={limit}"));
+    }
+}
+
+/// A deliberately wedged kernel (a flood whose 5-word invocations can
+/// never fit the consumer's 4-word IQ, as in `failure_injection.rs`): the
+/// watchdog deadline `last_progress_cycle + watchdog_cycles + 1` is the
+/// only exit, and every engine must report the identical `Deadlock`
+/// payload — same cycle, same stuck-message census.
+struct StuckKernel;
+
+impl Kernel for StuckKernel {
+    fn name(&self) -> &str {
+        "stuck"
+    }
+    fn tasks(&self) -> Vec<TaskDecl> {
+        vec![
+            TaskDecl::new("producer", 16, TaskParams::AutoPop(1)).requires_cq_space(0, 4),
+            TaskDecl::new("consumer", 4, TaskParams::AutoPop(5)),
+        ]
+    }
+    fn channels(&self) -> Vec<ChannelDecl> {
+        vec![ChannelDecl::new("flood", 1, ArraySpace::Vertex, 1, 8)]
+    }
+    fn arrays(&self) -> Vec<LocalArrayDecl> {
+        vec![]
+    }
+    fn output_arrays(&self) -> Vec<&'static str> {
+        vec![]
+    }
+    fn bootstrap(&self, ctx: &mut dyn BootstrapContext) {
+        if ctx.tile() == 0 {
+            let _ = ctx.push_invocation(0, &[1]);
+        }
+    }
+    fn execute(&self, task: usize, params: &[u32], ctx: &mut dyn TaskContext) {
+        if task == 0 {
+            for _ in 0..4 {
+                let _ = ctx.try_send(0, &[params[0]]);
+            }
+            let _ = ctx.try_push_local(0, params);
+        }
+    }
+    fn on_global_idle(&self, _epoch: usize, _ctx: &mut dyn EpochContext) -> EpochDecision {
+        EpochDecision::Finish
+    }
+}
+
+#[test]
+fn watchdog_deadline_fires_identically_on_wedged_pipelines() {
+    let graph = RmatConfig::new(7, 4).seed(9).build().unwrap();
+    for watchdog in [64u64, 65, 1000, 4999] {
+        let config = SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(1 << 20)
+            .vertex_placement(VertexPlacement::Interleaved)
+            .max_cycles(1_000_000)
+            .watchdog_cycles(watchdog)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let err = sim.run(&StuckKernel).unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "watchdog={watchdog}: expected Deadlock, got {err:?}"
+        );
+        assert_error_parity(&sim, &StuckKernel, &format!("watchdog={watchdog}"));
+    }
+}
+
+/// Property-style sweep of both limits near the event horizon: a grid of
+/// `max_cycles` × `watchdog_cycles` values straddling the completion
+/// cycle, including combinations where both horizons clamp the same jump
+/// and the tighter one must win on every engine.
+#[test]
+fn limit_sweep_near_the_event_horizon_stays_in_parity() {
+    let graph = graph();
+    let kernel = SsspKernel::new(0);
+    let completion = sim_with_limits(&graph, u64::MAX / 2, u64::MAX / 4)
+        .run(&kernel)
+        .expect("unlimited run completes")
+        .cycles;
+    // Offsets around the horizon: deep inside the run, hugging the
+    // boundary from both sides, and past it.
+    let max_cycle_points = [completion / 3, completion - 1, completion, completion + 3];
+    let watchdog_points = [
+        completion / 4,
+        completion / 2 + 1,
+        completion - 1,
+        completion + 10,
+    ];
+    for &max_cycles in &max_cycle_points {
+        for &watchdog in &watchdog_points {
+            let sim = sim_with_limits(&graph, max_cycles, watchdog);
+            assert_error_parity(
+                &sim,
+                &kernel,
+                &format!("max_cycles={max_cycles}/watchdog={watchdog}"),
+            );
+        }
+    }
+}

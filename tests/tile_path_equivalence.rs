@@ -1,4 +1,4 @@
-//! Schedule-equivalence tests for the engine square: all four cycle
+//! Schedule-equivalence tests for the engine square: all five cycle
 //! engines must be *indistinguishable*.
 //!
 //! [`Engine::Skip`] drives the overhauled per-cycle tile path (ring-buffer
@@ -7,14 +7,17 @@
 //! skip-to-next-event engine; [`Engine::Calendar`] adds the NoC's
 //! calendar router scheduler (per-router `next_possible` due stamps, a
 //! bucketed calendar of due routers, waiter lists for blocked heads);
-//! [`Engine::Ticked`] is the same tile path ticking every cycle; and
-//! [`Engine::Reference`] is the preserved pre-overhaul path.  The four
-//! must agree on everything — cycle counts, gathered outputs, every tile
-//! counter and every NoC statistic (including the per-tile injection
-//! rejections the parked-channel elision and the bulk skip-replay
-//! reconstruct instead of re-attempting) — across every topology,
-//! placement and scheduling policy, in barrierless and barrier mode, and
-//! at wider endpoint-drain budgets.
+//! [`Engine::Parallel`] fans the calendar engine's tile phase out over a
+//! worker pool of endpoint shards whose cross-tile side effects are
+//! replayed in the frozen walk order; [`Engine::Ticked`] is the same tile
+//! path ticking every cycle; and [`Engine::Reference`] is the preserved
+//! pre-overhaul path.  The five must agree on everything — cycle counts,
+//! gathered outputs, every tile counter and every NoC statistic
+//! (including the per-tile injection rejections the parked-channel
+//! elision and the bulk skip-replay reconstruct instead of
+//! re-attempting) — across every topology, placement and scheduling
+//! policy, in barrierless and barrier mode, and at wider endpoint-drain
+//! budgets.
 //!
 //! A small golden table additionally pins absolute cycle counts for
 //! non-default configurations, so all engines drifting *together* (a bug
@@ -30,7 +33,14 @@ use dalorex::sim::{Simulation, VertexPlacement};
 fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> u64 {
     let kernel = workload.kernel();
     let reference = sim.run_with_engine(kernel.as_ref(), Engine::Reference).unwrap();
-    for engine in Engine::ALL {
+    // `Engine::ALL` carries `Parallel { workers: 0 }` (auto-detected pool
+    // size); also pin explicit pool sizes, including one that does not
+    // divide the tile count evenly, so shard-boundary bugs cannot hide
+    // behind a single-worker auto-detection on small CI machines.
+    let engines = Engine::ALL
+        .into_iter()
+        .chain([Engine::Parallel { workers: 2 }, Engine::Parallel { workers: 3 }]);
+    for engine in engines {
         let outcome = sim.run_with_engine(kernel.as_ref(), engine).unwrap();
         assert_eq!(
             outcome.cycles, reference.cycles,
