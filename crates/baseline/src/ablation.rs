@@ -103,6 +103,9 @@ pub struct AblationOutcome {
     pub cycles: u64,
     /// Total energy in Joules.
     pub energy_j: f64,
+    /// Modeled memory footprint of the run — `None` for the analytical
+    /// Tesseract rungs, which have no cycle-level memory model.
+    pub memory: Option<dalorex_sim::MemoryReport>,
 }
 
 impl AblationOutcome {
@@ -162,6 +165,7 @@ pub fn run_rung_with_engine(
             Ok(AblationOutcome {
                 cycles: outcome.cycles,
                 energy_j: outcome.total_energy_j(),
+                memory: None,
             })
         }
         AblationRung::TesseractLc => {
@@ -174,6 +178,7 @@ pub fn run_rung_with_engine(
             Ok(AblationOutcome {
                 cycles: outcome.cycles,
                 energy_j: outcome.total_energy_j(),
+                memory: None,
             })
         }
         _ => run_dalorex_rung(rung, graph, workload, side, scratchpad_bytes, engine),
@@ -225,6 +230,7 @@ fn run_dalorex_rung(
     Ok(AblationOutcome {
         cycles: outcome.cycles,
         energy_j: outcome.total_energy_j(),
+        memory: Some(outcome.memory),
     })
 }
 

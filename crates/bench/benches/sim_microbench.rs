@@ -95,12 +95,15 @@ fn bench_placement_mapping(c: &mut Criterion) {
 fn bench_word_queue(c: &mut Criterion) {
     c.bench_function("word_queue_push_pop_4k", |b| {
         b.iter(|| {
-            let mut queue = WordQueue::new(4096);
+            // Queues are storage-less ring descriptors over an arena slab;
+            // the bench prices the descriptor arithmetic plus slab access.
+            let mut slab = vec![0u32; 4096];
+            let mut queue = WordQueue::new(0, 4096);
             for i in 0..1024u32 {
-                queue.try_push(&[i, i + 1, i + 2]);
+                queue.try_push(&mut slab, &[i, i + 1, i + 2]);
             }
             let mut acc = 0u32;
-            while let Some(word) = queue.pop_word() {
+            while let Some(word) = queue.pop_word(&slab) {
                 acc = acc.wrapping_add(word);
             }
             black_box(acc)

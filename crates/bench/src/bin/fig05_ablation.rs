@@ -6,7 +6,7 @@
 //! Usage:
 //! ```text
 //! cargo run -p dalorex-bench --release --bin fig05_ablation -- \
-//!     [--csv] [--geomean] [--engine <name>]
+//!     [--csv] [--json <path>] [--geomean] [--engine <name>]
 //! ```
 //!
 //! The paper's headline numbers derived from this figure are the compounded
@@ -18,7 +18,7 @@ use dalorex_baseline::ablation::{geomean, run_rung_with_engine, AblationOutcome,
 use dalorex_baseline::Workload;
 use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{format_factor, Table};
+use dalorex_bench::report::{format_factor, Measurement, MemoryColumns, Table};
 use dalorex_graph::datasets::DatasetLabel;
 use std::collections::BTreeMap;
 
@@ -44,6 +44,7 @@ fn main() {
     let mut step_energy: BTreeMap<AblationRung, Vec<f64>> = BTreeMap::new();
     let mut full_speedups = Vec::new();
     let mut full_energy_gains = Vec::new();
+    let mut measurements = Vec::new();
 
     for workload in workloads {
         for label in labels {
@@ -83,6 +84,21 @@ fn main() {
                     format!("{:.3e}", outcome.energy_j),
                     format!("{energy_gain:.2}"),
                 ]);
+                measurements.push(Measurement {
+                    experiment: "fig5".to_string(),
+                    workload: workload.name().to_string(),
+                    dataset: label.as_str(),
+                    configuration: rung.label().to_string(),
+                    cycles: outcome.cycles,
+                    energy_j: outcome.energy_j,
+                    value: speedup,
+                    endpoint_drains: if rung == AblationRung::WideEndpoint { 2 } else { 1 },
+                    rejected_injections: 0,
+                    // The analytical Tesseract rungs carry no memory model,
+                    // so their rows omit the memory object entirely.
+                    memory: outcome.memory.map(|r| MemoryColumns::from_report(&r)),
+                    peak_rss_bytes: None,
+                });
                 if let Some(prev) = previous {
                     step_speedups
                         .entry(rung)
@@ -185,5 +201,6 @@ fn main() {
         "Section V-A: compounded geomean improvement factors (plus the beyond-paper wide-endpoint step)",
         cli.csv,
     );
+    cli.write_json_if_requested(&measurements);
     cli.report_wall_clock();
 }

@@ -21,7 +21,7 @@
 use dalorex_baseline::Workload;
 use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{Measurement, Table};
+use dalorex_bench::report::{Measurement, MemoryColumns, Table};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 
@@ -97,6 +97,8 @@ fn main() {
                     value: vertices_per_tile as f64,
                     endpoint_drains: drains,
                     rejected_injections: outcome.stats.noc.total_injection_rejections(),
+                    memory: Some(MemoryColumns::from_report(&outcome.memory)),
+                    peak_rss_bytes: None,
                 });
                 if drains != 1 {
                     continue;

@@ -16,13 +16,21 @@
 //! `--engine <reference|ticked|skip|calendar>` selects the cycle engine —
 //! the tables are engine-independent, so run the sweep twice with
 //! different engines and compare the stderr wall-clock lines to A/B them.
+//!
+//! `--max-side 32` additionally unlocks the *paper-scale rung*: SSSP over
+//! a 1M-vertex (~16M-edge) scale-free graph on the full grid, with the
+//! run's per-subsystem memory report printed alongside the throughput
+//! tables (`--max-side 64` raises it to 4M vertices, the
+//! Wikipedia/LiveJournal size class).  Lazy tile arenas are what make this
+//! rung CI-feasible: only tiles that saw activity are priced.
 
 use dalorex_baseline::Workload;
 use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{Measurement, Table};
+use dalorex_bench::report::{Measurement, MemoryColumns, Table};
 use dalorex_bench::runner::{run_dalorex, scaling_sides, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
+use dalorex_graph::generators::realworld::ScaleFreeConfig;
 use dalorex_sim::energy::EnergyConstants;
 
 fn main() {
@@ -83,6 +91,8 @@ fn main() {
                     value: outcome.stats.edges_per_second(clock),
                     endpoint_drains: drains,
                     rejected_injections: outcome.stats.noc.total_injection_rejections(),
+                    memory: Some(MemoryColumns::from_report(&outcome.memory)),
+                    peak_rss_bytes: None,
                 });
             }
         }
@@ -95,6 +105,90 @@ fn main() {
         ),
         cli.csv,
     );
+    paper_scale_rung(&cli, max_side, clock, &mut measurements);
     cli.write_json_if_requested(&measurements);
     cli.report_wall_clock();
+}
+
+/// The dataset size of the paper-scale rung unlocked by `--max-side`:
+/// nothing below 32 (the default sweep stays CI-trivial), 1M vertices /
+/// ~16M edges at 32x32 (about 1k vertices per tile, the paper's
+/// parallelization knee), and 4M — the Wikipedia/LiveJournal size class —
+/// at 64x64 and beyond.
+fn paper_scale_vertices(max_side: usize) -> Option<usize> {
+    match max_side {
+        side if side >= 64 => Some(4_000_000),
+        side if side >= 32 => Some(1_000_000),
+        _ => None,
+    }
+}
+
+/// Runs SSSP over a paper-sized scale-free graph on the largest requested
+/// grid and prints the run's memory report — the end-to-end demonstration
+/// that lazy tile arenas keep paper-scale datasets inside a CI machine.
+/// Skipped below `--max-side 32`.
+fn paper_scale_rung(
+    cli: &FigureCli,
+    max_side: usize,
+    clock: f64,
+    measurements: &mut Vec<Measurement>,
+) {
+    let Some(vertices) = paper_scale_vertices(max_side) else {
+        return;
+    };
+    let graph = ScaleFreeConfig::new(vertices, 12)
+        .seed(7)
+        .build()
+        .expect("the paper-scale configuration is valid");
+    let workload = Workload::Sssp { root: 0 };
+    let tiles = max_side * max_side;
+    let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
+    let options = RunOptions::new(max_side, scratchpad).with_engine(cli.engine);
+    let outcome = match run_dalorex(&graph, workload, options) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("skipping the paper-scale rung on {tiles} tiles: {err}");
+            return;
+        }
+    };
+    let memory = &outcome.memory;
+    let mut table = Table::new(vec!["line", "bytes"]);
+    table.push_row(vec!["CSR chunks".to_string(), memory.csr_bytes.to_string()]);
+    table.push_row(vec![
+        format!(
+            "tile arenas ({}/{} materialized)",
+            memory.materialized_tiles, memory.total_tiles
+        ),
+        memory.tile_arena_bytes.to_string(),
+    ]);
+    table.push_row(vec![
+        "NoC buffers".to_string(),
+        memory.noc_buffer_bytes.to_string(),
+    ]);
+    table.push_row(vec![
+        "modeled total".to_string(),
+        memory.modeled_total_bytes().to_string(),
+    ]);
+    table.print(
+        &format!(
+            "Paper-scale rung: SSSP over a {vertices}-vertex / {}-edge scale-free graph \
+             on {tiles} tiles ({} cycles) — memory report",
+            graph.num_edges(),
+            outcome.cycles
+        ),
+        cli.csv,
+    );
+    measurements.push(Measurement {
+        experiment: "fig7-paper-scale".to_string(),
+        workload: workload.name().to_string(),
+        dataset: format!("scale-free-{vertices}"),
+        configuration: format!("{tiles} tiles, 1 drains"),
+        cycles: outcome.cycles,
+        energy_j: outcome.total_energy_j(),
+        value: outcome.stats.edges_per_second(clock),
+        endpoint_drains: 1,
+        rejected_injections: outcome.stats.noc.total_injection_rejections(),
+        memory: Some(MemoryColumns::from_report(memory)),
+        peak_rss_bytes: None,
+    });
 }

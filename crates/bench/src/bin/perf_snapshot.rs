@@ -13,7 +13,17 @@
 //! best wall-clock (least-noise) repetition; `value` in the JSON is
 //! modelled cycles per wall-clock second.  The modelled cycle counts are
 //! engine-independent (the five-engine equivalence square pins that), so
-//! cycles/sec comparisons across engines are exact throughput ratios.
+//! cycles/sec comparisons across engines are exact throughput ratios —
+//! and the binary *asserts* the equality per cell: any engine disagreeing
+//! on the modelled cycle count aborts the snapshot, so a stale
+//! `BENCH_<n>.json` can never paper over an equivalence break.
+//!
+//! Each row also carries the run's modeled memory footprint
+//! (`modeled_bytes`, from the per-subsystem memory report) next to the
+//! process's peak resident set (`peak_rss`, the `VmHWM` high-water mark on
+//! Linux, absent elsewhere): the first is the memory the simulated machine
+//! would need, the second is what the simulator itself costs — the pair
+//! catches host-footprint regressions that the modeled numbers cannot see.
 //!
 //! Two workloads run by default: a light 32x32 SSSP (every engine,
 //! including the reference oracle) and the dense 64x64 SSSP middle (the
@@ -28,7 +38,7 @@
 //! pass) — the bit-identical schedule is the point, the speedup needs
 //! cores.
 use dalorex_bench::cli::FigureCli;
-use dalorex_bench::report::{Measurement, Table};
+use dalorex_bench::report::{Measurement, MemoryColumns, Table};
 use dalorex_graph::generators::rmat::RmatConfig;
 use dalorex_graph::CsrGraph;
 use dalorex_kernels::SsspKernel;
@@ -52,6 +62,18 @@ struct Cell {
     side: usize,
     graph: CsrGraph,
     engines: Vec<Engine>,
+}
+
+/// The process's peak resident-set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, `None` where that file does not exist.
+/// The high-water mark is process-wide, so across a snapshot's rows it
+/// only ever grows — the last row of a dataset bounds the simulator's own
+/// footprint for every engine on that dataset.
+fn peak_rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: usize = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 fn main() {
@@ -87,7 +109,15 @@ fn main() {
     }
 
     let mut table = Table::new(vec![
-        "workload", "dataset", "tiles", "engine", "cycles", "best wall (s)", "cycles/sec",
+        "workload",
+        "dataset",
+        "tiles",
+        "engine",
+        "cycles",
+        "best wall (s)",
+        "cycles/sec",
+        "modeled-bytes",
+        "peak-rss",
     ]);
     let mut measurements = Vec::new();
 
@@ -97,10 +127,15 @@ fn main() {
             .build()
             .unwrap();
         let sim = Simulation::new(config, &cell.graph).unwrap();
+        // The first engine's modelled cycle count anchors the per-cell
+        // equivalence assertion below.
+        let mut cell_cycles: Option<u64> = None;
         for &engine in &cell.engines {
             let mut cycles = 0;
             let mut energy_j = 0.0;
             let mut rejections = 0;
+            let mut modeled_bytes = 0;
+            let mut memory = None;
             let mut best = f64::INFINITY;
             for _ in 0..REPS {
                 let started = Instant::now();
@@ -109,7 +144,20 @@ fn main() {
                 cycles = outcome.cycles;
                 energy_j = outcome.total_energy_j();
                 rejections = outcome.stats.noc.total_injection_rejections();
+                modeled_bytes = outcome.memory.modeled_total_bytes();
+                memory = Some(MemoryColumns::from_report(&outcome.memory));
             }
+            // The equivalence square's guarantee, enforced where the
+            // numbers are published: every engine models the same cycle
+            // count, or the snapshot dies instead of writing BENCH_<n>.json.
+            let anchor = *cell_cycles.get_or_insert(cycles);
+            assert_eq!(
+                cycles, anchor,
+                "{}: engine {engine} modelled {cycles} cycles but {} modelled {anchor} — \
+                 the engines have diverged; fix the equivalence break before snapshotting",
+                cell.dataset, cell.engines[0]
+            );
+            let peak_rss = peak_rss_bytes();
             let throughput = cycles as f64 / best;
             table.push_row(vec![
                 "SSSP".to_string(),
@@ -119,6 +167,8 @@ fn main() {
                 cycles.to_string(),
                 format!("{best:.3}"),
                 format!("{throughput:.3e}"),
+                modeled_bytes.to_string(),
+                peak_rss.map_or_else(|| "-".to_string(), |b| b.to_string()),
             ]);
             measurements.push(Measurement {
                 experiment: "engine-throughput".to_string(),
@@ -130,6 +180,8 @@ fn main() {
                 value: throughput,
                 endpoint_drains: 1,
                 rejected_injections: rejections,
+                memory,
+                peak_rss_bytes: peak_rss,
             });
         }
     }

@@ -92,6 +92,41 @@ impl Table {
     }
 }
 
+/// The memory-report columns a figure row may carry, mirroring the
+/// subsystem lines of [`dalorex_sim::MemoryReport`] (the physical lines
+/// only — the calendar line is simulator bookkeeping, not modeled
+/// hardware, so it stays out of the figure schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryColumns {
+    /// Total modeled bytes across every subsystem line.
+    pub modeled_bytes: usize,
+    /// The distributed CSR chunks.
+    pub csr_bytes: usize,
+    /// Per-tile arena slabs (materialized tiles only, under lazy
+    /// allocation).
+    pub tile_arena_bytes: usize,
+    /// Tiles whose arena was materialized during the run.
+    pub materialized_tiles: usize,
+    /// Total tiles in the grid.
+    pub total_tiles: usize,
+    /// Router port + ejection buffers across the fabric.
+    pub noc_buffer_bytes: usize,
+}
+
+impl MemoryColumns {
+    /// Extracts the figure columns from a run's memory report.
+    pub fn from_report(report: &dalorex_sim::MemoryReport) -> Self {
+        MemoryColumns {
+            modeled_bytes: report.modeled_total_bytes(),
+            csr_bytes: report.csr_bytes,
+            tile_arena_bytes: report.tile_arena_bytes,
+            materialized_tiles: report.materialized_tiles,
+            total_tiles: report.total_tiles,
+            noc_buffer_bytes: report.noc_buffer_bytes,
+        }
+    }
+}
+
 /// One measured cell of a figure, serializable for downstream plotting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
@@ -115,6 +150,16 @@ pub struct Measurement {
     /// Injection attempts the NoC rejected with back-pressure during the
     /// run (total across tiles).
     pub rejected_injections: u64,
+    /// Modeled memory footprint of the run, when the producing binary
+    /// reports one (`None` for analytical baselines and figures that
+    /// aggregate across runs).
+    pub memory: Option<MemoryColumns>,
+    /// Peak resident-set size of the measuring *process* when the row was
+    /// taken (the VmHWM high-water mark, so it only ever grows across a
+    /// run's rows).  `perf_snapshot` reports it next to `modeled_bytes` to
+    /// catch the simulator's own footprint regressing; the figure binaries
+    /// leave it `None`.
+    pub peak_rss_bytes: Option<usize>,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -152,11 +197,31 @@ impl Measurement {
     /// so the serialization is hand-rolled rather than pulled from serde;
     /// the output is plain JSON consumable by any plotting pipeline.
     pub fn to_json(&self) -> String {
+        let memory = match &self.memory {
+            Some(m) => format!(
+                concat!(
+                    ",\"memory\":{{\"modeled_bytes\":{},\"csr_bytes\":{},",
+                    "\"tile_arena_bytes\":{},\"materialized_tiles\":{},",
+                    "\"total_tiles\":{},\"noc_buffer_bytes\":{}}}"
+                ),
+                m.modeled_bytes,
+                m.csr_bytes,
+                m.tile_arena_bytes,
+                m.materialized_tiles,
+                m.total_tiles,
+                m.noc_buffer_bytes,
+            ),
+            None => String::new(),
+        };
+        let peak_rss = match self.peak_rss_bytes {
+            Some(bytes) => format!(",\"peak_rss_bytes\":{bytes}"),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"dataset\":\"{}\",",
                 "\"configuration\":\"{}\",\"cycles\":{},\"energy_j\":{},\"value\":{},",
-                "\"endpoint_drains\":{},\"rejected_injections\":{}}}"
+                "\"endpoint_drains\":{},\"rejected_injections\":{}{}{}}}"
             ),
             json_escape(&self.experiment),
             json_escape(&self.workload),
@@ -167,6 +232,8 @@ impl Measurement {
             json_f64(self.value),
             self.endpoint_drains,
             self.rejected_injections,
+            memory,
+            peak_rss,
         )
     }
 }
@@ -250,6 +317,15 @@ mod tests {
             value: 221.0,
             endpoint_drains: 2,
             rejected_injections: 17,
+            memory: Some(MemoryColumns {
+                modeled_bytes: 1000,
+                csr_bytes: 600,
+                tile_arena_bytes: 300,
+                materialized_tiles: 3,
+                total_tiles: 16,
+                noc_buffer_bytes: 100,
+            }),
+            peak_rss_bytes: Some(4096),
         };
         let json = m.to_json();
         assert!(json.contains("fig5-perf"));
@@ -257,6 +333,9 @@ mod tests {
         assert!(json.contains("\"energy_j\":0.5"));
         assert!(json.contains("\"endpoint_drains\":2"));
         assert!(json.contains("\"rejected_injections\":17"));
+        assert!(json.contains("\"memory\":{\"modeled_bytes\":1000"));
+        assert!(json.contains("\"materialized_tiles\":3"));
+        assert!(json.contains("\"peak_rss_bytes\":4096"));
         let array = to_json_array(&[m.clone(), m]);
         assert!(array.starts_with('['));
         assert!(array.ends_with(']'));
@@ -275,9 +354,13 @@ mod tests {
             value: 1.0,
             endpoint_drains: 1,
             rejected_injections: 0,
+            memory: None,
+            peak_rss_bytes: None,
         };
         let json = m.to_json();
         assert!(json.contains("quote\\\"back\\\\slash\\nnewline"));
         assert!(json.contains("\"energy_j\":null"));
+        assert!(!json.contains("\"memory\""), "absent report emits no key");
+        assert!(!json.contains("peak_rss"), "absent RSS emits no key");
     }
 }

@@ -195,13 +195,28 @@ impl CsrGraph {
             .zip(self.edge_values[range].iter().copied())
     }
 
-    /// Memory footprint of the four CSR arrays in bytes, assuming 32-bit
-    /// entries, as stored in the tiles' scratchpads. Includes one per-vertex
-    /// state word (e.g. `dist`) since every kernel stores at least one.
+    /// Memory footprint of the three CSR arrays in bytes, assuming 32-bit
+    /// entries: `ptr` (`V + 1` words), `edge_idx` (`E` words) and
+    /// `edge_values` (`E` words).
+    ///
+    /// This is the graph alone — kernel per-vertex state (e.g. `dist`) is
+    /// declared by each kernel and accounted in the simulator's per-tile
+    /// arenas, not here.  For the footprint of the graph *as distributed
+    /// across tile scratchpads*, see
+    /// [`distributed_footprint_bytes`](Self::distributed_footprint_bytes).
     pub fn footprint_bytes(&self) -> usize {
-        let per_vertex = self.ptr.len() * 4 + self.num_vertices() * 4;
-        let per_edge = self.edge_idx.len() * 4 + self.edge_values.len() * 4;
-        per_vertex + per_edge
+        (self.ptr.len() + self.edge_idx.len() + self.edge_values.len()) * 4
+    }
+
+    /// Memory footprint of the graph once distributed across tile
+    /// scratchpads, in bytes: each tile stores an explicit `[begin, end)`
+    /// row pair per local vertex (2 words — the shared-`ptr` trick of the
+    /// monolithic layout does not survive chunking) plus the 2 edge words,
+    /// so the total is `4 * (2V + 2E)` regardless of the tile count.
+    ///
+    /// This equals the `csr_bytes` line of the simulator's memory report.
+    pub fn distributed_footprint_bytes(&self) -> usize {
+        (2 * self.num_vertices() + 2 * self.num_edges()) * 4
     }
 
     /// Converts back to an edge list (mainly for tests and round-trips).
@@ -324,10 +339,23 @@ mod tests {
     }
 
     #[test]
-    fn footprint_counts_all_four_arrays() {
+    fn footprint_counts_the_three_csr_arrays() {
         let g = diamond();
-        // ptr: 5 words, state: 4 words, edge_idx: 4 words, edge_values: 4 words.
-        assert_eq!(g.footprint_bytes(), (5 + 4 + 4 + 4) * 4);
+        // ptr: 5 words, edge_idx: 4 words, edge_values: 4 words — and
+        // nothing else: kernel state is not the graph's to count.
+        assert_eq!(g.footprint_bytes(), (5 + 4 + 4) * 4);
+    }
+
+    #[test]
+    fn distributed_footprint_from_first_principles() {
+        let g = diamond();
+        // Chunked across tiles every vertex carries an explicit [begin, end)
+        // row pair: 2 words per vertex + 2 words per edge.
+        assert_eq!(g.distributed_footprint_bytes(), (2 * 4 + 2 * 4) * 4);
+        // The distributed layout trades the shared ptr array (V + 1 words)
+        // for per-vertex pairs (2V words): for any non-trivial graph the
+        // distributed form is the larger of the two.
+        assert!(g.distributed_footprint_bytes() >= g.footprint_bytes() - 4);
     }
 
     #[test]

@@ -231,6 +231,50 @@ mod tests {
     }
 
     #[test]
+    fn paper_scale_generation_holds_shape_invariants() {
+        // The first paper-scale rung (ISSUE 7): 1M vertices targeting ~16M
+        // edges.  Requested average degree 12 plus the one-third reverse
+        // edges lands near 16M after dedup; the invariants below are what
+        // the Dalorex evaluation actually depends on — edge budget, mean
+        // degree near the request, and a power-law hub tail — so they are
+        // pinned at the scale the figures run at, not a toy scale.
+        let config = ScaleFreeConfig::new(1_000_000, 12).seed(7);
+        let g = config.build().unwrap();
+        assert_eq!(g.num_vertices(), 1_000_000);
+        assert!(
+            (14_000_000..=18_000_000).contains(&g.num_edges()),
+            "edge count {} strayed from the ~16M target",
+            g.num_edges()
+        );
+        let stats = DegreeStats::from_graph(&g);
+        // Mean total degree (in + out) is about twice the requested
+        // average out-degree plus the reverse-edge surplus.
+        let requested = 12.0;
+        assert!(
+            stats.mean_total_degree > 1.5 * requested
+                && stats.mean_total_degree < 4.0 * requested,
+            "mean total degree {} inconsistent with requested average {}",
+            stats.mean_total_degree,
+            requested
+        );
+        // Scale-free tail: the hottest vertex concentrates orders of
+        // magnitude more degree than the mean.
+        assert!(
+            stats.max_total_degree as f64 > 100.0 * stats.mean_total_degree,
+            "no hub tail: max {} vs mean {}",
+            stats.max_total_degree,
+            stats.mean_total_degree
+        );
+        // Footprint formulas from first principles on the same graph: the
+        // monolithic CSR is (V+1) + 2E words, the tile-distributed form
+        // (which the simulator's memory report counts) is 2V + 2E words.
+        let v = g.num_vertices();
+        let e = g.num_edges();
+        assert_eq!(g.footprint_bytes(), 4 * (v + 1 + 2 * e));
+        assert_eq!(g.distributed_footprint_bytes(), 4 * (2 * v + 2 * e));
+    }
+
+    #[test]
     fn rejects_invalid_configs() {
         assert!(ScaleFreeConfig::new(1, 4).build().is_err());
         assert!(ScaleFreeConfig::new(16, 0).build().is_err());

@@ -70,7 +70,7 @@ mod error;
 pub use error::NocError;
 pub use message::{Message, MAX_FLITS};
 pub use network::shard::{EndpointShard, ShardBuffers, TileEndpoint};
-pub use network::Network;
+pub use network::{Network, NocMemoryReport};
 pub use stats::NocStats;
 pub use topology::{GridShape, Topology};
 

@@ -98,6 +98,17 @@ pub mod shard;
 /// "drain at most `WIDTH` slots after a long jump" bound cover every slot.
 const CALENDAR_WIDTH: u64 = 64;
 
+/// The network's contribution to the memory budget report (see
+/// [`Network::memory_report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocMemoryReport {
+    /// Modelled router buffer capacity across the fabric, in bytes.
+    pub buffer_bytes: usize,
+    /// Calendar router-scheduler bookkeeping heap, in bytes (0-ish under
+    /// the scan scheduler: just the dense due/buffered-count mirrors).
+    pub calendar_bytes: usize,
+}
+
 /// A message rejected at injection, handed back to the caller together with
 /// the reason so it can be retried on a later cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -403,6 +414,37 @@ impl Network {
     /// The configuration this network was built with.
     pub fn config(&self) -> &NocConfig {
         &self.config
+    }
+
+    /// The network's lines of the memory budget report: the modelled router
+    /// buffer capacity (wired non-local ports at `buffer_flits` plus the
+    /// local ejection buffers at `ejection_buffer_flits`, per channel, 4
+    /// bytes per flit), and the calendar scheduler's actual bookkeeping
+    /// heap (due stamps, buffered-count mirror, bucket ring, waiter lists —
+    /// simulator state, not modelled hardware, so it legitimately differs
+    /// between router schedulers).
+    pub fn memory_report(&self) -> NocMemoryReport {
+        const FLIT_BYTES: usize = 4;
+        let per_router = (self.forward_ports.len() * self.config.buffer_flits
+            + self.config.ejection_buffer_flits)
+            * self.config.channels
+            * FLIT_BYTES;
+        let calendar_bytes = self.due.len() * std::mem::size_of::<u64>()
+            + self.buffered_count.len() * std::mem::size_of::<u32>()
+            + self
+                .cal_buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<TileId>())
+                .sum::<usize>()
+            + self
+                .waiters
+                .iter()
+                .map(|w| w.capacity() * std::mem::size_of::<TileId>())
+                .sum::<usize>();
+        NocMemoryReport {
+            buffer_bytes: per_router * self.routers.len(),
+            calendar_bytes,
+        }
     }
 
     /// The current cycle count.

@@ -218,6 +218,12 @@ pub struct SimConfig {
     /// [`Engine::Skip`]).  All engines model the identical schedule; the
     /// knob trades simulator wall-clock profiles (see [`Engine`]).
     pub engine: Engine,
+    /// Materialize every tile's arena slab up front instead of lazily on
+    /// first activity (default `false`).  Laziness is schedule-invisible —
+    /// the equivalence suite pins eager and lazy runs against each other —
+    /// so the only reason to flip this is to measure the idle-tile memory
+    /// laziness saves, or to serve as the eager oracle in that suite.
+    pub eager_tile_init: bool,
 }
 
 impl SimConfig {
@@ -276,6 +282,7 @@ impl SimConfigBuilder {
                 epoch_broadcast_cycles: (grid.width + grid.height) as u64,
                 invocation_overhead_cycles: 0,
                 engine: Engine::default(),
+                eager_tile_init: false,
             },
         }
     }
@@ -353,6 +360,15 @@ impl SimConfigBuilder {
     /// schedule is identical for every engine).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.config.engine = engine;
+        self
+    }
+
+    /// Overrides lazy tile-state allocation (default `false` = lazy): when
+    /// `true`, every tile's arena slab is materialized before the first
+    /// cycle, as the pre-arena engine did.  The modelled schedule is
+    /// identical either way; the memory report's tile-arena line is not.
+    pub fn eager_tile_init(mut self, eager: bool) -> Self {
+        self.config.eager_tile_init = eager;
         self
     }
 
@@ -438,6 +454,17 @@ mod tests {
         assert_eq!(config.vertex_placement, VertexPlacement::Chunked);
         assert_eq!(config.barrier_mode, BarrierMode::EpochBarrier);
         assert_eq!(config.max_cycles, 1000);
+    }
+
+    #[test]
+    fn tile_init_defaults_to_lazy() {
+        let config = SimConfigBuilder::new(GridConfig::square(4)).build().unwrap();
+        assert!(!config.eager_tile_init);
+        let eager = SimConfigBuilder::new(GridConfig::square(4))
+            .eager_tile_init(true)
+            .build()
+            .unwrap();
+        assert!(eager.eager_tile_init);
     }
 
     #[test]

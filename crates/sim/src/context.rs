@@ -113,26 +113,26 @@ impl TaskContext for SimTaskContext<'_> {
 
     fn read(&mut self, array: ArrayId, index: usize) -> u32 {
         self.charge_read(1);
-        self.tile.arrays[array][index]
+        self.tile.read_array_word(array, index)
     }
 
     fn write(&mut self, array: ArrayId, index: usize, value: u32) {
         self.charge_write(1);
-        self.tile.arrays[array][index] = value;
+        self.tile.write_array_word(array, index, value);
     }
 
     fn var(&mut self, index: usize) -> u32 {
         self.charge_read(1);
-        self.tile.vars[index]
+        self.tile.var(index)
     }
 
     fn set_var(&mut self, index: usize, value: u32) {
         self.charge_write(1);
-        self.tile.vars[index] = value;
+        self.tile.set_var(index, value);
     }
 
     fn cq_free(&self, channel: usize) -> usize {
-        self.tile.cqs()[channel].free()
+        self.tile.cq_free(channel)
     }
 
     fn try_send(&mut self, channel: usize, words: &[u32]) -> bool {
@@ -155,7 +155,7 @@ impl TaskContext for SimTaskContext<'_> {
     }
 
     fn iq_free(&self, task: TaskId) -> usize {
-        self.tile.iqs()[task].free()
+        self.tile.iq_free(task)
     }
 
     fn try_push_local(&mut self, task: TaskId, words: &[u32]) -> bool {
@@ -170,7 +170,7 @@ impl TaskContext for SimTaskContext<'_> {
 
     fn iq_peek(&mut self) -> Option<u32> {
         self.charge_read(1);
-        self.tile.iqs()[self.current_task].peek()
+        self.tile.iq_peek(self.current_task)
     }
 
     fn iq_pop(&mut self) -> Option<u32> {
@@ -179,7 +179,7 @@ impl TaskContext for SimTaskContext<'_> {
     }
 
     fn iq_len(&self) -> usize {
-        self.tile.iqs()[self.current_task].len()
+        self.tile.iq_len(self.current_task)
     }
 
     fn charge_ops(&mut self, n: u64) {
@@ -252,15 +252,15 @@ impl BootstrapContext for SimBootstrapContext<'_> {
     }
 
     fn set_var(&mut self, index: usize, value: u32) {
-        self.tile.vars[index] = value;
+        self.tile.set_var(index, value);
     }
 
     fn write_array(&mut self, array: ArrayId, index: usize, value: u32) {
-        self.tile.arrays[array][index] = value;
+        self.tile.write_array_word(array, index, value);
     }
 
     fn read_array(&self, array: ArrayId, index: usize) -> u32 {
-        self.tile.arrays[array][index]
+        self.tile.read_array_word(array, index)
     }
 }
 
@@ -284,19 +284,19 @@ impl EpochContext for SimEpochContext<'_> {
     }
 
     fn read_var(&self, tile: usize, index: usize) -> u32 {
-        self.tiles[tile].vars[index]
+        self.tiles[tile].var(index)
     }
 
     fn read_array(&self, tile: usize, array: ArrayId, index: usize) -> u32 {
-        self.tiles[tile].arrays[array][index]
+        self.tiles[tile].read_array_word(array, index)
     }
 
     fn write_array(&mut self, tile: usize, array: ArrayId, index: usize, value: u32) {
-        self.tiles[tile].arrays[array][index] = value;
+        self.tiles[tile].write_array_word(array, index, value);
     }
 
     fn set_var(&mut self, tile: usize, index: usize, value: u32) {
-        self.tiles[tile].vars[index] = value;
+        self.tiles[tile].set_var(index, value);
     }
 
     fn push_invocation(&mut self, tile: usize, task: TaskId, words: &[u32]) -> bool {
@@ -460,7 +460,7 @@ mod tests {
         assert_eq!(ctx.read_array(0, 0), 11);
         assert_eq!(ctx.num_local_vertices(), 4);
         assert_eq!(tile.iqs()[0].len(), 1);
-        assert_eq!(tile.vars[0], 3);
+        assert_eq!(tile.vars()[0], 3);
     }
 
     #[cfg(target_pointer_width = "64")]

@@ -47,10 +47,11 @@ use crate::context::{InvocationCost, SimBootstrapContext, SimEpochContext, SimTa
 use crate::energy::{EnergyBreakdown, EnergyConstants, EnergyModel};
 use crate::error::SimError;
 use crate::kernel::{ChannelDecl, EpochDecision, Kernel, TaskDecl, TaskParams};
+use crate::memory::MemoryReport;
 use crate::output::KernelOutput;
 use crate::placement::{ArraySpace, Placement};
 use crate::stats::SimStats;
-use crate::tile::{distribute_graph, TileCsr, TileState};
+use crate::tile::{distribute_graph, TileCsr, TileInit, TileState};
 use crate::tsu::Scheduler;
 use crate::area::{AreaConstants, AreaModel};
 use dalorex_graph::CsrGraph;
@@ -83,6 +84,11 @@ pub struct SimOutcome {
     pub chip_area_mm2: f64,
     /// Average power density in milliwatts per square millimetre.
     pub power_density_mw_per_mm2: f64,
+    /// Modeled per-subsystem memory footprint of the run.  Lives here and
+    /// not in [`SimStats`] because the calendar line is engine bookkeeping
+    /// that legitimately differs between engines, while stats are pinned
+    /// bit-identical across the equivalence square.
+    pub memory: MemoryReport,
 }
 
 impl SimOutcome {
@@ -384,20 +390,29 @@ impl Simulation {
         validate_kernel(&tasks, &channels, self.config.noc_ejection_flits)?;
 
         let num_tiles = self.placement.num_tiles();
+        // One shared declaration record; every tile starts hollow (no
+        // arena slab) and materializes on first activity, so idle tiles
+        // cost nothing.  `eager_tile_init` restores the pre-arena
+        // allocate-everything behaviour; the schedule is identical either
+        // way (pinned by the lazy-vs-eager equivalence test).
+        let init = std::sync::Arc::new(TileInit::new(
+            &tasks,
+            &channels,
+            &arrays,
+            kernel.num_tile_vars(),
+        ));
         let mut tiles: Vec<TileState> = (0..num_tiles)
-            .map(|t| {
-                TileState::new(
-                    t,
-                    &self.placement,
-                    &tasks,
-                    &channels,
-                    &arrays,
-                    kernel.num_tile_vars(),
-                )
-            })
+            .map(|t| TileState::hollow(t, &self.placement, std::sync::Arc::clone(&init)))
             .collect();
+        if self.config.eager_tile_init {
+            for tile in tiles.iter_mut() {
+                tile.materialize();
+            }
+        }
 
         // Bootstrap every tile (initial state and the root invocation).
+        // A bootstrap that only inspects a tile (e.g. "am I the root's
+        // owner?") leaves it hollow; any write or push materializes it.
         for tile in tiles.iter_mut() {
             let mut ctx = SimBootstrapContext {
                 csr: &self.csr[tile.tile],
@@ -726,7 +741,7 @@ impl Simulation {
             }
         }
 
-        self.finish_outcome(kernel, &arrays, &tiles, &network, cycle, epochs)
+        self.finish_outcome(kernel, &arrays, tasks.len(), &tiles, &network, cycle, epochs)
     }
 
     /// Gathers statistics, output and the derived energy/area figures into
@@ -734,10 +749,12 @@ impl Simulation {
     /// engine reaches this point with all shard effects already merged back
     /// into the one `Network` and the one tile vector, so nothing here is
     /// engine-specific).
+    #[allow(clippy::too_many_arguments)]
     fn finish_outcome(
         &self,
         kernel: &dyn Kernel,
         arrays: &[crate::kernel::LocalArrayDecl],
+        num_tasks: usize,
         tiles: &[TileState],
         network: &Network,
         cycle: u64,
@@ -754,6 +771,12 @@ impl Simulation {
         for tile in tiles {
             stats.absorb_tile(&tile.counters);
         }
+        // Hollow tiles carry an empty per-task counter vector; pad the
+        // aggregate so an eager run (every vector full-length) and a lazy
+        // run produce bit-identical stats.
+        if stats.task_invocations.len() < num_tasks {
+            stats.task_invocations.resize(num_tasks, 0);
+        }
         stats.router_busy_fraction = network.router_utilization().values().to_vec();
         stats.activity.cycles = cycle;
         stats.activity.noc_flit_hops = network.stats().flit_hops;
@@ -768,6 +791,23 @@ impl Simulation {
             .energy_model
             .memory_bandwidth_bytes_per_s(&stats.activity);
         let chip_area = self.area_model.chip_mm2();
+        let noc_mem = network.memory_report();
+        let mut materialized_tiles = 0usize;
+        let mut tile_arena_bytes = 0usize;
+        for tile in tiles {
+            if tile.is_materialized() {
+                materialized_tiles += 1;
+                tile_arena_bytes += tile.arena_bytes();
+            }
+        }
+        let memory = MemoryReport {
+            csr_bytes: self.csr.iter().map(TileCsr::footprint_bytes).sum(),
+            tile_arena_bytes,
+            materialized_tiles,
+            total_tiles: tiles.len(),
+            noc_buffer_bytes: noc_mem.buffer_bytes,
+            calendar_bytes: noc_mem.calendar_bytes,
+        };
         Ok(SimOutcome {
             cycles: cycle,
             energy,
@@ -778,6 +818,7 @@ impl Simulation {
             power_density_mw_per_mm2: self.area_model.power_density_mw_per_mm2(average_power_w),
             stats,
             output,
+            memory,
         })
     }
 
@@ -845,6 +886,9 @@ impl Simulation {
         let mut drained = 0usize;
         debug_assert_eq!(delivery_pending, network.delivered_waiting(tile_id) > 0);
         if delivery_pending {
+            // Arriving traffic is the one way a hollow tile wakes up: its
+            // IQ rings must exist before `can_push` probes them below.
+            tile.materialize();
             'drain: loop {
                 let mut progressed = false;
                 let mut mask = network.delivered_channel_mask(tile_id);
@@ -916,7 +960,7 @@ impl Simulation {
                 let decl = &channels[channel];
                 let flits = decl.flits_per_message;
                 debug_assert!(tile.cqs()[channel].len() >= flits);
-                let head = tile.cqs()[channel].peek().expect("non-empty CQ");
+                let head = tile.cq_peek(channel).expect("non-empty CQ");
                 let dest = self.placement.owner(decl.space, head as usize);
                 let mut flit_buf = [0u32; dalorex_noc::MAX_FLITS];
                 let popped = tile.pop_cq_into(channel, flits, &mut flit_buf);
@@ -1057,6 +1101,9 @@ impl Simulation {
         // 1. Drain: scan the channels in declaration order, repeatedly.
         let mut drained = 0usize;
         if network.delivered_waiting(tile_id) > 0 {
+            // Arriving traffic is the one way a hollow tile wakes up: its
+            // IQ rings must exist before `can_push` probes them below.
+            tile.materialize();
             'drain: loop {
                 let mut progressed = false;
                 for (channel, decl) in channels.iter().enumerate() {
@@ -1088,6 +1135,13 @@ impl Simulation {
             }
         }
 
+        if !tile.is_materialized() {
+            // Nothing was delivered and nothing was ever queued: a hollow
+            // tile has no message to inject and no dispatchable task, and
+            // its queue descriptors do not exist to scan.
+            return;
+        }
+
         // 2. Inject: scan the channels in declaration order, parking
         //    rejected ones.  Kernels with more than 64 channels fall back
         //    to a single pass so a rejected channel is never re-attempted,
@@ -1108,7 +1162,7 @@ impl Simulation {
                 if tile.cqs()[channel].len() < flits {
                     continue;
                 }
-                let head = tile.cqs()[channel].peek().expect("non-empty CQ");
+                let head = tile.cq_peek(channel).expect("non-empty CQ");
                 let dest = self.placement.owner(decl.space, head as usize);
                 let words = tile
                     .pop_cq_invocation(channel, flits)
@@ -1183,7 +1237,9 @@ impl Simulation {
             for (v, slot) in global.iter_mut().enumerate() {
                 let tile = self.placement.owner(ArraySpace::Vertex, v);
                 let local = self.placement.to_local(ArraySpace::Vertex, v);
-                *slot = tiles[tile].arrays[array_id][local];
+                // Hollow tiles hand back their declared initial values —
+                // an idle tile's output is whatever the kernel initialized.
+                *slot = tiles[tile].read_array_word(array_id, local);
             }
             output.insert(name, global);
         }

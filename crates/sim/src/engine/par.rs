@@ -579,7 +579,7 @@ impl Simulation {
                 }
             }
 
-            self.finish_outcome(kernel, &arrays, &tiles, &network, cycle, epochs)
+            self.finish_outcome(kernel, &arrays, tasks.len(), &tiles, &network, cycle, epochs)
         })
     }
 }

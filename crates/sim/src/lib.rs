@@ -46,6 +46,7 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 pub mod kernel;
+pub mod memory;
 pub mod output;
 pub mod placement;
 pub mod queues;
@@ -60,6 +61,7 @@ pub use config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfig, S
 pub use engine::{SimOutcome, Simulation};
 pub use error::SimError;
 pub use kernel::Kernel;
+pub use memory::MemoryReport;
 pub use output::KernelOutput;
 pub use placement::{ArraySpace, Placement, VertexPlacement};
 pub use stats::SimStats;

@@ -8,6 +8,25 @@
 //! [`crate::placement::Placement`]; [`TileState`] is the mutable
 //! part (kernel arrays, variables, queues, counters).
 //!
+//! # Arena layout and lazy materialization
+//!
+//! The mutable scratchpad image of a tile is a single `Vec<u32>` arena slab
+//! laid out `[kernel arrays][variables][IQ rings][CQ rings]`, indexed by
+//! `u32` spans ([`crate::queues::WordQueue`] descriptors and array spans) —
+//! one allocation per tile instead of one per array and per queue, sized
+//! exactly like the hardware scratchpad it models.  A tile starts *hollow*:
+//! no slab, no queues, no counters vector.  The first mutation (an IQ/CQ
+//! push from the network or bootstrap, an array or variable write)
+//! materializes the slab with the declared initial values; reads on a
+//! hollow tile compute those declared values on the fly, so laziness is
+//! invisible to the modelled schedule.  The declaration-derived metadata a
+//! materialization needs ([`TileInit`]: capacity rules, array declarations,
+//! readiness metadata) is shared across every tile behind an `Arc`, and the
+//! vertex mapping is captured as the affine
+//! [`crate::placement::Placement::vertex_affine`] pair, so a hollow tile
+//! is a few dozen bytes.  [`TileState::arena_bytes`] (0 while hollow) is
+//! what the memory budget report sums per tile.
+//!
 //! # Incremental readiness tracking
 //!
 //! [`TileState`] is on the engine's per-tile per-cycle path, so it answers
@@ -42,6 +61,7 @@ use crate::kernel::{
 use crate::placement::{ArraySpace, Placement};
 use crate::queues::WordQueue;
 use dalorex_graph::CsrGraph;
+use std::sync::Arc;
 
 /// The read-only chunk of the dataset owned by one tile.
 ///
@@ -119,7 +139,8 @@ pub struct TileCounters {
     pub pu_ops: u64,
     /// Cycles during which the PU was executing a task.
     pub pu_busy_cycles: u64,
-    /// Invocations executed, per task.
+    /// Invocations executed, per task.  Empty until the tile materializes
+    /// (an all-zero vector and an absent one aggregate identically).
     pub task_invocations: Vec<u64>,
     /// Edges processed (reported by the kernel via `count_edges`).
     pub edges_processed: u64,
@@ -133,9 +154,9 @@ pub struct TileCounters {
 }
 
 /// Per-task scheduling metadata derived from the kernel declarations once,
-/// at tile construction, so the readiness masks can be recomputed without
-/// consulting the declarations again.
-#[derive(Debug, Clone)]
+/// at [`TileInit`] construction, so the readiness masks can be recomputed
+/// without consulting the declarations again.
+#[derive(Debug)]
 struct ReadyMeta {
     /// Minimum IQ words for the task to have input: `AutoPop(n)` needs `n`,
     /// `SelfManaged` needs 1, and the (invalid, engine-rejected)
@@ -206,20 +227,126 @@ impl ReadyMeta {
     }
 }
 
+/// Declaration-derived tile metadata, built once per run and shared across
+/// every [`TileState`] behind an `Arc` — everything a hollow tile needs to
+/// materialize its arena or to answer reads without one.
+#[derive(Debug)]
+pub struct TileInit {
+    /// Per-task IQ capacity rule.
+    iq_capacity: Vec<QueueCapacity>,
+    /// Per-channel CQ capacity in words.
+    cq_capacity_words: Vec<usize>,
+    /// Kernel array declarations, in declaration order.
+    arrays: Vec<LocalArrayDecl>,
+    /// Number of per-tile scalar variables.
+    num_vars: usize,
+    /// Readiness metadata (see [`ReadyMeta`]).
+    meta: ReadyMeta,
+}
+
+impl TileInit {
+    /// Captures the kernel declarations' tile-shaping facts.
+    pub fn new(
+        tasks: &[TaskDecl],
+        channels: &[ChannelDecl],
+        arrays: &[LocalArrayDecl],
+        num_vars: usize,
+    ) -> Self {
+        TileInit {
+            iq_capacity: tasks.iter().map(|t| t.iq_capacity).collect(),
+            cq_capacity_words: channels.iter().map(|c| c.cq_capacity_words).collect(),
+            arrays: arrays.to_vec(),
+            num_vars,
+            meta: ReadyMeta::new(tasks, channels),
+        }
+    }
+
+    /// Number of declared tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.iq_capacity.len()
+    }
+
+    /// Number of declared channels.
+    pub fn num_channels(&self) -> usize {
+        self.cq_capacity_words.len()
+    }
+}
+
+/// Declared length of a kernel array on a tile owning `local_vertices`
+/// vertices and `local_edges` edges.
+fn declared_array_len(len: LocalArrayLen, local_vertices: usize, local_edges: usize) -> usize {
+    match len {
+        LocalArrayLen::PerVertex => local_vertices,
+        LocalArrayLen::PerEdge => local_edges,
+        LocalArrayLen::VertexBitmap => local_vertices.div_ceil(32),
+        LocalArrayLen::Words(n) => n,
+    }
+}
+
+/// Declared IQ capacity in words for a tile owning `local_vertices`.
+fn declared_iq_words(capacity: QueueCapacity, local_vertices: usize) -> usize {
+    let words = match capacity {
+        QueueCapacity::Words(n) => n,
+        QueueCapacity::PerVertex => local_vertices,
+        QueueCapacity::VertexBlocks => local_vertices.div_ceil(32),
+    };
+    words.max(1)
+}
+
+/// A `u32`-indexed window of a tile's arena slab holding one kernel array.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    off: u32,
+    len: u32,
+}
+
+impl Span {
+    fn new(off: usize, len: usize) -> Self {
+        let end = off
+            .checked_add(len)
+            .filter(|&e| e <= u32::MAX as usize)
+            .expect("tile arena span exceeds the 32-bit index space");
+        let _ = end;
+        Span {
+            off: off as u32,
+            len: len as u32,
+        }
+    }
+
+    fn range(self) -> std::ops::Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
+}
+
 /// The mutable per-tile state of a running simulation.
 #[derive(Debug, Clone)]
 pub struct TileState {
     /// Tile id.
     pub tile: usize,
-    /// Kernel arrays, in declaration order.
-    pub arrays: Vec<Vec<u32>>,
-    /// Per-tile scalar variables.
-    pub vars: Vec<u32>,
+    /// Shared declaration-derived metadata.
+    init: Arc<TileInit>,
+    /// Vertices this tile owns.
+    local_vertices: u32,
+    /// Edges this tile owns.
+    local_edges: u32,
+    /// `global_vertex = vertex_base + local * vertex_stride`.
+    vertex_base: usize,
+    /// See `vertex_base`.
+    vertex_stride: usize,
+    /// The arena slab: `[arrays][vars][IQ rings][CQ rings]`.  Empty until
+    /// the tile materializes.
+    slab: Vec<u32>,
+    /// Kernel array windows into the slab, in declaration order.
+    array_spans: Box<[Span]>,
+    /// First slab index of the variables window.
+    vars_off: u32,
     /// One input queue per task.  Private so every mutation flows through
     /// the counter-maintaining methods below.
-    iqs: Vec<WordQueue>,
+    iqs: Box<[WordQueue]>,
     /// One channel queue per channel.
-    cqs: Vec<WordQueue>,
+    cqs: Box<[WordQueue]>,
+    /// Whether the arena has been materialized.
+    materialized: bool,
     /// Cycle until which the PU is busy with the current task.
     pub pu_busy_until: u64,
     /// Activity counters.
@@ -232,13 +359,13 @@ pub struct TileState {
     /// Bit `c` set when channel `c`'s CQ holds at least one full message
     /// (valid when `meta.exact`).
     cq_ready: u64,
-    /// Declaration-derived readiness metadata.
-    meta: ReadyMeta,
 }
 
 impl TileState {
     /// Builds the state for `tile` given the kernel declarations and the
-    /// tile's share of the dataset.
+    /// tile's share of the dataset, materialized eagerly (the historical
+    /// constructor, used by tests and the eager-init oracle; runs share one
+    /// [`TileInit`] via [`TileState::hollow`] instead).
     pub fn new(
         tile: usize,
         placement: &Placement,
@@ -247,53 +374,143 @@ impl TileState {
         arrays: &[LocalArrayDecl],
         num_vars: usize,
     ) -> Self {
+        let init = Arc::new(TileInit::new(tasks, channels, arrays, num_vars));
+        let mut state = TileState::hollow(tile, placement, init);
+        state.materialize();
+        state
+    }
+
+    /// Builds a hollow (unmaterialized) tile: no arena, no queues, no
+    /// counters vector — a few dozen bytes regardless of dataset size.
+    /// The first mutation materializes it; reads before that compute the
+    /// declared initial values.
+    pub fn hollow(tile: usize, placement: &Placement, init: Arc<TileInit>) -> Self {
         let local_vertices = placement.local_len(ArraySpace::Vertex, tile);
         let local_edges = placement.local_len(ArraySpace::Edge, tile);
-        let built_arrays = arrays
-            .iter()
-            .map(|decl| build_array(decl, tile, placement, local_vertices, local_edges))
-            .collect();
-        let mut state = TileState {
+        let (vertex_base, vertex_stride) = placement.vertex_affine(tile);
+        TileState {
             tile,
-            arrays: built_arrays,
-            vars: vec![0; num_vars],
-            iqs: tasks
-                .iter()
-                .map(|t| {
-                    let words = match t.iq_capacity {
-                        QueueCapacity::Words(n) => n,
-                        QueueCapacity::PerVertex => local_vertices,
-                        QueueCapacity::VertexBlocks => local_vertices.div_ceil(32),
-                    };
-                    WordQueue::new(words.max(1))
-                })
-                .collect(),
-            cqs: channels
-                .iter()
-                .map(|c| WordQueue::new(c.cq_capacity_words.max(1)))
-                .collect(),
+            init,
+            local_vertices: u32::try_from(local_vertices)
+                .expect("per-tile vertex count exceeds the 32-bit index space"),
+            local_edges: u32::try_from(local_edges)
+                .expect("per-tile edge count exceeds the 32-bit index space"),
+            vertex_base,
+            vertex_stride,
+            slab: Vec::new(),
+            array_spans: Box::new([]),
+            vars_off: 0,
+            iqs: Box::new([]),
+            cqs: Box::new([]),
+            materialized: false,
             pu_busy_until: 0,
-            counters: TileCounters {
-                task_invocations: vec![0; tasks.len()],
-                ..TileCounters::default()
-            },
+            counters: TileCounters::default(),
             queued_words: 0,
             task_ready: 0,
             cq_ready: 0,
-            meta: ReadyMeta::new(tasks, channels),
-        };
-        state.rebuild_masks();
-        state
+        }
+    }
+
+    /// Whether the arena slab has been allocated.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Heap bytes held by this tile's arena slab (0 while hollow) — the
+    /// per-tile line the memory budget report sums.
+    pub fn arena_bytes(&self) -> usize {
+        self.slab.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Allocates and initializes the arena slab.  Idempotent; called
+    /// automatically by every mutation, or eagerly by
+    /// `EngineState::prepare` under the eager-init policy.
+    pub fn materialize(&mut self) {
+        if self.materialized {
+            return;
+        }
+        let lv = self.local_vertices as usize;
+        let le = self.local_edges as usize;
+        let init = Arc::clone(&self.init);
+
+        let mut off = 0usize;
+        let array_spans: Box<[Span]> = init
+            .arrays
+            .iter()
+            .map(|decl| {
+                let len = declared_array_len(decl.len, lv, le);
+                let span = Span::new(off, len);
+                off += len;
+                span
+            })
+            .collect();
+        let vars_off = off;
+        off += init.num_vars;
+        let iqs: Box<[WordQueue]> = init
+            .iq_capacity
+            .iter()
+            .map(|&capacity| {
+                let words = declared_iq_words(capacity, lv);
+                let q = WordQueue::new(off, words);
+                off += words;
+                q
+            })
+            .collect();
+        let cqs: Box<[WordQueue]> = init
+            .cq_capacity_words
+            .iter()
+            .map(|&capacity| {
+                let words = capacity.max(1);
+                let q = WordQueue::new(off, words);
+                off += words;
+                q
+            })
+            .collect();
+        assert!(
+            off <= u32::MAX as usize,
+            "tile arena exceeds the 32-bit index space"
+        );
+
+        let mut slab = vec![0u32; off];
+        for (decl, span) in init.arrays.iter().zip(array_spans.iter()) {
+            let window = &mut slab[span.range()];
+            match &decl.init {
+                ArrayInit::Zero => {}
+                ArrayInit::Const(v) => window.fill(*v),
+                ArrayInit::MaxU32 => window.fill(u32::MAX),
+                ArrayInit::GlobalVertexId => {
+                    for (local, word) in window.iter_mut().enumerate() {
+                        *word = (self.vertex_base + local * self.vertex_stride) as u32;
+                    }
+                }
+                ArrayInit::PerVertexFn(f) => {
+                    for (local, word) in window.iter_mut().enumerate() {
+                        *word = f((self.vertex_base + local * self.vertex_stride) as u32);
+                    }
+                }
+            }
+        }
+
+        self.slab = slab;
+        self.array_spans = array_spans;
+        self.vars_off = vars_off as u32;
+        self.iqs = iqs;
+        self.cqs = cqs;
+        self.counters.task_invocations = vec![0; init.num_tasks()];
+        self.materialized = true;
+        self.rebuild_masks();
     }
 
     /// The task input queues, in declaration order (read-only: mutations go
     /// through [`TileState::push_iq`] and friends so the incremental
-    /// counters stay exact).
+    /// counters stay exact).  Empty while the tile is hollow; use the
+    /// capacity/occupancy accessors for hollow-safe reads.
     pub fn iqs(&self) -> &[WordQueue] {
         &self.iqs
     }
 
     /// The channel (output) queues, in declaration order (read-only).
+    /// Empty while the tile is hollow.
     pub fn cqs(&self) -> &[WordQueue] {
         &self.cqs
     }
@@ -302,7 +519,7 @@ impl TileState {
     /// tasks and 64 channels).  When false, consumers fall back to the
     /// scanning paths.
     pub fn masks_exact(&self) -> bool {
-        self.meta.exact
+        self.init.meta.exact
     }
 
     /// Bitmask of dispatch-eligible tasks (bit `t` set when task `t`
@@ -323,10 +540,58 @@ impl TileState {
         self.queued_words
     }
 
+    /// Occupancy of task `task`'s IQ in words (0 while hollow).
+    pub fn iq_len(&self, task: usize) -> usize {
+        if self.materialized {
+            self.iqs[task].len()
+        } else {
+            0
+        }
+    }
+
+    /// Free space in task `task`'s IQ in words (the full declared capacity
+    /// while hollow).
+    pub fn iq_free(&self, task: usize) -> usize {
+        if self.materialized {
+            self.iqs[task].free()
+        } else {
+            declared_iq_words(self.init.iq_capacity[task], self.local_vertices as usize)
+        }
+    }
+
+    /// Free space in channel `channel`'s CQ in words (the full declared
+    /// capacity while hollow).
+    pub fn cq_free(&self, channel: usize) -> usize {
+        if self.materialized {
+            self.cqs[channel].free()
+        } else {
+            self.init.cq_capacity_words[channel].max(1)
+        }
+    }
+
+    /// The head word of task `task`'s IQ without consuming it.
+    pub fn iq_peek(&self, task: usize) -> Option<u32> {
+        if self.materialized {
+            self.iqs[task].peek(&self.slab)
+        } else {
+            None
+        }
+    }
+
+    /// The head word of channel `channel`'s CQ without consuming it.
+    pub fn cq_peek(&self, channel: usize) -> Option<u32> {
+        if self.materialized {
+            self.cqs[channel].peek(&self.slab)
+        } else {
+            None
+        }
+    }
+
     /// Pushes an invocation into task `task`'s IQ; returns `false` if it
-    /// does not fit.
+    /// does not fit.  Materializes a hollow tile.
     pub fn push_iq(&mut self, task: usize, words: &[u32]) -> bool {
-        let accepted = self.iqs[task].try_push(words);
+        self.materialize();
+        let accepted = self.iqs[task].try_push(&mut self.slab, words);
         if accepted {
             self.queued_words += words.len();
             self.note_iq_changed(task);
@@ -336,7 +601,10 @@ impl TileState {
 
     /// Pops one word from task `task`'s IQ (the self-managed `iq_pop`).
     pub fn pop_iq_word(&mut self, task: usize) -> Option<u32> {
-        let word = self.iqs[task].pop_word();
+        if !self.materialized {
+            return None;
+        }
+        let word = self.iqs[task].pop_word(&self.slab);
         if word.is_some() {
             self.queued_words -= 1;
             self.note_iq_changed(task);
@@ -348,7 +616,10 @@ impl TileState {
     /// allocation-free.  Returns `false` (queue unchanged) if fewer than
     /// `count` words are queued.
     pub fn pop_iq_into(&mut self, task: usize, count: usize, out: &mut [u32]) -> bool {
-        let popped = self.iqs[task].pop_invocation_into(count, out);
+        if !self.materialized {
+            return false;
+        }
+        let popped = self.iqs[task].pop_invocation_into(&self.slab, count, out);
         if popped {
             self.queued_words -= count;
             self.note_iq_changed(task);
@@ -359,7 +630,10 @@ impl TileState {
     /// `Vec`-returning variant of [`TileState::pop_iq_into`], preserved for
     /// the reference tile path and tests.
     pub fn pop_iq_invocation(&mut self, task: usize, count: usize) -> Option<Vec<u32>> {
-        let popped = self.iqs[task].pop_invocation(count);
+        if !self.materialized {
+            return None;
+        }
+        let popped = self.iqs[task].pop_invocation(&self.slab, count);
         if popped.is_some() {
             self.queued_words -= count;
             self.note_iq_changed(task);
@@ -368,9 +642,10 @@ impl TileState {
     }
 
     /// Pushes a message into channel `channel`'s CQ; returns `false` if it
-    /// does not fit.
+    /// does not fit.  Materializes a hollow tile.
     pub fn push_cq(&mut self, channel: usize, words: &[u32]) -> bool {
-        let accepted = self.cqs[channel].try_push(words);
+        self.materialize();
+        let accepted = self.cqs[channel].try_push(&mut self.slab, words);
         if accepted {
             self.queued_words += words.len();
             self.note_cq_changed(channel);
@@ -382,7 +657,10 @@ impl TileState {
     /// allocation-free.  Returns `false` (queue unchanged) if fewer than
     /// `count` words are queued.
     pub fn pop_cq_into(&mut self, channel: usize, count: usize, out: &mut [u32]) -> bool {
-        let popped = self.cqs[channel].pop_invocation_into(count, out);
+        if !self.materialized {
+            return false;
+        }
+        let popped = self.cqs[channel].pop_invocation_into(&self.slab, count, out);
         if popped {
             self.queued_words -= count;
             self.note_cq_changed(channel);
@@ -393,7 +671,10 @@ impl TileState {
     /// `Vec`-returning variant of [`TileState::pop_cq_into`], preserved for
     /// the reference tile path and tests.
     pub fn pop_cq_invocation(&mut self, channel: usize, count: usize) -> Option<Vec<u32>> {
-        let popped = self.cqs[channel].pop_invocation(count);
+        if !self.materialized {
+            return None;
+        }
+        let popped = self.cqs[channel].pop_invocation(&self.slab, count);
         if popped.is_some() {
             self.queued_words -= count;
             self.note_cq_changed(channel);
@@ -409,15 +690,105 @@ impl TileState {
     /// Panics if the words no longer fit (they always do when undoing a pop
     /// performed in the same cycle).
     pub fn restore_cq_front(&mut self, channel: usize, words: &[u32]) {
-        self.cqs[channel].push_front_invocation(words);
+        self.materialize();
+        self.cqs[channel].push_front_invocation(&mut self.slab, words);
         self.queued_words += words.len();
         self.note_cq_changed(channel);
     }
 
-    /// Recomputes every readiness bit from scratch (construction and
+    /// Declared length of kernel array `array` on this tile (hollow-safe).
+    pub fn array_len(&self, array: usize) -> usize {
+        let decl = &self.init.arrays[array];
+        declared_array_len(decl.len, self.local_vertices as usize, self.local_edges as usize)
+    }
+
+    /// Kernel array `array` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is hollow (use [`TileState::read_array_word`] for
+    /// hollow-safe reads).
+    pub fn array(&self, array: usize) -> &[u32] {
+        assert!(
+            self.materialized,
+            "array slice read on an unmaterialized tile (use read_array_word)"
+        );
+        &self.slab[self.array_spans[array].range()]
+    }
+
+    /// Reads `array[index]`, computing the declared initial value when the
+    /// tile is hollow — the read an idle tile would serve without ever
+    /// allocating its arena.
+    pub fn read_array_word(&self, array: usize, index: usize) -> u32 {
+        if self.materialized {
+            let span = self.array_spans[array];
+            assert!(index < span.len as usize, "array index out of bounds");
+            self.slab[span.off as usize + index]
+        } else {
+            assert!(index < self.array_len(array), "array index out of bounds");
+            match &self.init.arrays[array].init {
+                ArrayInit::Zero => 0,
+                ArrayInit::Const(v) => *v,
+                ArrayInit::MaxU32 => u32::MAX,
+                ArrayInit::GlobalVertexId => {
+                    (self.vertex_base + index * self.vertex_stride) as u32
+                }
+                ArrayInit::PerVertexFn(f) => {
+                    f((self.vertex_base + index * self.vertex_stride) as u32)
+                }
+            }
+        }
+    }
+
+    /// Writes `array[index] = value`, materializing a hollow tile.
+    pub fn write_array_word(&mut self, array: usize, index: usize, value: u32) {
+        self.materialize();
+        let span = self.array_spans[array];
+        assert!(index < span.len as usize, "array index out of bounds");
+        self.slab[span.off as usize + index] = value;
+    }
+
+    /// Number of per-tile scalar variables.
+    pub fn num_vars(&self) -> usize {
+        self.init.num_vars
+    }
+
+    /// Reads variable `index` (0 while hollow — variables start zeroed).
+    pub fn var(&self, index: usize) -> u32 {
+        assert!(index < self.init.num_vars, "variable index out of bounds");
+        if self.materialized {
+            self.slab[self.vars_off as usize + index]
+        } else {
+            0
+        }
+    }
+
+    /// Writes variable `index`, materializing a hollow tile.
+    pub fn set_var(&mut self, index: usize, value: u32) {
+        assert!(index < self.init.num_vars, "variable index out of bounds");
+        self.materialize();
+        self.slab[self.vars_off as usize + index] = value;
+    }
+
+    /// The variables window as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is hollow (use [`TileState::var`] for hollow-safe
+    /// reads).
+    pub fn vars(&self) -> &[u32] {
+        assert!(
+            self.materialized,
+            "vars slice read on an unmaterialized tile (use var)"
+        );
+        let off = self.vars_off as usize;
+        &self.slab[off..off + self.init.num_vars]
+    }
+
+    /// Recomputes every readiness bit from scratch (materialization and
     /// debug-mode validation).
     fn rebuild_masks(&mut self) {
-        if !self.meta.exact {
+        if !self.init.meta.exact {
             return;
         }
         self.task_ready = 0;
@@ -428,7 +799,7 @@ impl TileState {
         }
         self.cq_ready = 0;
         for channel in 0..self.cqs.len() {
-            if self.cqs[channel].len() >= self.meta.cq_msg_words[channel] {
+            if self.cqs[channel].len() >= self.init.meta.cq_msg_words[channel] {
                 self.cq_ready |= 1u64 << channel;
             }
         }
@@ -439,20 +810,20 @@ impl TileState {
     /// [`crate::tsu::Scheduler::is_eligible`]; the scheduler debug-asserts
     /// the two agree.
     fn compute_task_ready(&self, task: usize) -> bool {
-        if self.iqs[task].len() < self.meta.iq_need[task] {
+        if self.iqs[task].len() < self.init.meta.iq_need[task] {
             return false;
         }
-        self.meta.cq_reqs[task]
+        self.init.meta.cq_reqs[task]
             .iter()
             .all(|&(channel, words)| self.cqs[channel].free() >= words)
-            && self.meta.iq_reqs[task]
+            && self.init.meta.iq_reqs[task]
                 .iter()
                 .all(|&(watched, words)| self.iqs[watched].free() >= words)
     }
 
     #[inline]
     fn note_iq_changed(&mut self, task: usize) {
-        if !self.meta.exact {
+        if !self.init.meta.exact {
             return;
         }
         let bit = 1u64 << task;
@@ -464,8 +835,8 @@ impl TileState {
         // An IQ mutation moves its free space, which can flip the
         // eligibility of tasks holding an output-space guarantee on it (T4
         // watches T1's IQ).
-        for i in 0..self.meta.iq_watchers[task].len() {
-            let watcher = self.meta.iq_watchers[task][i];
+        for i in 0..self.init.meta.iq_watchers[task].len() {
+            let watcher = self.init.meta.iq_watchers[task][i];
             let watcher_bit = 1u64 << watcher;
             if self.compute_task_ready(watcher) {
                 self.task_ready |= watcher_bit;
@@ -477,11 +848,11 @@ impl TileState {
 
     #[inline]
     fn note_cq_changed(&mut self, channel: usize) {
-        if !self.meta.exact {
+        if !self.init.meta.exact {
             return;
         }
         let bit = 1u64 << channel;
-        if self.cqs[channel].len() >= self.meta.cq_msg_words[channel] {
+        if self.cqs[channel].len() >= self.init.meta.cq_msg_words[channel] {
             self.cq_ready |= bit;
         } else {
             self.cq_ready &= !bit;
@@ -489,8 +860,8 @@ impl TileState {
         // A CQ mutation moves its free space, which can flip the
         // eligibility of every task holding an output-space guarantee on
         // this channel.
-        for i in 0..self.meta.cq_watchers[channel].len() {
-            let task = self.meta.cq_watchers[channel][i];
+        for i in 0..self.init.meta.cq_watchers[channel].len() {
+            let task = self.init.meta.cq_watchers[channel][i];
             let task_bit = 1u64 << task;
             if self.compute_task_ready(task) {
                 self.task_ready |= task_bit;
@@ -520,38 +891,32 @@ impl TileState {
         self.iqs.iter().all(WordQueue::is_empty) && self.cqs.iter().all(WordQueue::is_empty)
     }
 
-    /// Scratchpad bytes used by kernel arrays, variables and queues.
+    /// Scratchpad bytes the kernel's arrays, variables and queues occupy on
+    /// this tile, computed from the declarations — the *modelled* hardware
+    /// footprint, identical whether or not the simulator has materialized
+    /// the arena (and equal to [`TileState::arena_bytes`] once it has).
     pub fn kernel_footprint_bytes(&self) -> usize {
-        let array_words: usize = self.arrays.iter().map(Vec::len).sum();
-        let queue_words: usize = self.iqs.iter().map(WordQueue::capacity).sum::<usize>()
-            + self.cqs.iter().map(WordQueue::capacity).sum::<usize>();
-        4 * (array_words + self.vars.len() + queue_words)
-    }
-}
-
-fn build_array(
-    decl: &LocalArrayDecl,
-    tile: usize,
-    placement: &Placement,
-    local_vertices: usize,
-    local_edges: usize,
-) -> Vec<u32> {
-    let len = match decl.len {
-        LocalArrayLen::PerVertex => local_vertices,
-        LocalArrayLen::PerEdge => local_edges,
-        LocalArrayLen::VertexBitmap => local_vertices.div_ceil(32),
-        LocalArrayLen::Words(n) => n,
-    };
-    match &decl.init {
-        ArrayInit::Zero => vec![0; len],
-        ArrayInit::Const(v) => vec![*v; len],
-        ArrayInit::MaxU32 => vec![u32::MAX; len],
-        ArrayInit::GlobalVertexId => (0..len)
-            .map(|local| placement.to_global(ArraySpace::Vertex, tile, local) as u32)
-            .collect(),
-        ArrayInit::PerVertexFn(f) => (0..len)
-            .map(|local| f(placement.to_global(ArraySpace::Vertex, tile, local) as u32))
-            .collect(),
+        let lv = self.local_vertices as usize;
+        let le = self.local_edges as usize;
+        let array_words: usize = self
+            .init
+            .arrays
+            .iter()
+            .map(|decl| declared_array_len(decl.len, lv, le))
+            .sum();
+        let queue_words: usize = self
+            .init
+            .iq_capacity
+            .iter()
+            .map(|&c| declared_iq_words(c, lv))
+            .sum::<usize>()
+            + self
+                .init
+                .cq_capacity_words
+                .iter()
+                .map(|&c| c.max(1))
+                .sum::<usize>();
+        4 * (array_words + self.init.num_vars + queue_words)
     }
 }
 
@@ -638,19 +1003,85 @@ mod tests {
         let placement = Placement::new(2, 10, 20, VertexPlacement::Interleaved);
         let (tasks, channels, arrays) = test_decls();
         let state = TileState::new(1, &placement, &tasks, &channels, &arrays, 3);
-        assert_eq!(state.arrays.len(), 5);
+        assert_eq!(state.array_spans.len(), 5);
         // Tile 1 owns vertices 1, 3, 5, 7, 9 under interleaved placement.
-        assert_eq!(state.arrays[0], vec![u32::MAX; 5]);
-        assert_eq!(state.arrays[1].len(), 1); // bitmap: ceil(5/32)
-        assert_eq!(state.arrays[2], vec![1, 3, 5, 7, 9]);
-        assert_eq!(state.arrays[3], vec![101, 103, 105, 107, 109]);
-        assert_eq!(state.arrays[4], vec![9, 9, 9, 9]);
-        assert_eq!(state.vars, vec![0, 0, 0]);
+        assert_eq!(state.array(0), &[u32::MAX; 5]);
+        assert_eq!(state.array(1).len(), 1); // bitmap: ceil(5/32)
+        assert_eq!(state.array(2), &[1, 3, 5, 7, 9]);
+        assert_eq!(state.array(3), &[101, 103, 105, 107, 109]);
+        assert_eq!(state.array(4), &[9, 9, 9, 9]);
+        assert_eq!(state.vars(), &[0, 0, 0]);
         assert_eq!(state.iqs().len(), 2);
         assert_eq!(state.cqs().len(), 1);
         assert!(state.is_idle(0));
         assert!(state.masks_exact());
         assert!(state.kernel_footprint_bytes() > 0);
+        // The arena holds exactly the modelled scratchpad image.
+        assert_eq!(state.arena_bytes(), state.kernel_footprint_bytes());
+    }
+
+    #[test]
+    fn hollow_tile_costs_nothing_and_reads_declared_values() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Interleaved);
+        let (tasks, channels, arrays) = test_decls();
+        let init = Arc::new(TileInit::new(&tasks, &channels, &arrays, 3));
+        let eager = TileState::new(1, &placement, &tasks, &channels, &arrays, 3);
+        let hollow = TileState::hollow(1, &placement, init);
+        assert!(!hollow.is_materialized());
+        assert_eq!(hollow.arena_bytes(), 0);
+        // The modelled footprint is declaration-derived, not
+        // allocation-derived.
+        assert_eq!(hollow.kernel_footprint_bytes(), eager.kernel_footprint_bytes());
+        // Hollow reads compute exactly what the eager build stored.
+        for array in 0..5 {
+            assert_eq!(hollow.array_len(array), eager.array(array).len());
+            for index in 0..hollow.array_len(array) {
+                assert_eq!(
+                    hollow.read_array_word(array, index),
+                    eager.array(array)[index],
+                    "array {array} index {index}"
+                );
+            }
+        }
+        for var in 0..3 {
+            assert_eq!(hollow.var(var), 0);
+        }
+        assert_eq!(hollow.iq_len(0), 0);
+        assert_eq!(hollow.iq_free(0), 32);
+        assert_eq!(hollow.cq_free(0), 16);
+        assert_eq!(hollow.iq_peek(0), None);
+        assert_eq!(hollow.cq_peek(0), None);
+        assert!(hollow.is_idle(0));
+        assert_eq!(hollow.task_ready_mask(), 0);
+        assert_eq!(hollow.cq_ready_mask(), 0);
+    }
+
+    #[test]
+    fn first_mutation_materializes_the_arena() {
+        let placement = Placement::new(2, 10, 20, VertexPlacement::Interleaved);
+        let (tasks, channels, arrays) = test_decls();
+        let init = Arc::new(TileInit::new(&tasks, &channels, &arrays, 3));
+        let mut state = TileState::hollow(1, &placement, Arc::clone(&init));
+        assert!(state.push_iq(0, &[7]));
+        assert!(state.is_materialized());
+        assert_eq!(state.arena_bytes(), state.kernel_footprint_bytes());
+        assert_eq!(state.iq_peek(0), Some(7));
+        // Declared initial values landed in the slab.
+        assert_eq!(state.array(0), &[u32::MAX; 5]);
+        assert_eq!(state.array(2), &[1, 3, 5, 7, 9]);
+        assert_eq!(state.counters.task_invocations, vec![0, 0]);
+
+        // Array and variable writes materialize too.
+        let mut by_write = TileState::hollow(0, &placement, Arc::clone(&init));
+        by_write.write_array_word(0, 2, 42);
+        assert!(by_write.is_materialized());
+        assert_eq!(by_write.read_array_word(0, 2), 42);
+        assert_eq!(by_write.read_array_word(0, 1), u32::MAX);
+        let mut by_var = TileState::hollow(0, &placement, init);
+        by_var.set_var(1, 5);
+        assert!(by_var.is_materialized());
+        assert_eq!(by_var.var(1), 5);
+        assert_eq!(by_var.var(0), 0);
     }
 
     #[test]

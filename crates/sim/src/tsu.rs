@@ -73,6 +73,12 @@ impl Scheduler {
     /// holds.  This is the reference definition; the tile's task-ready mask
     /// maintains exactly this predicate incrementally.
     pub fn is_eligible(tile: &TileState, tasks: &[TaskDecl], task: usize) -> bool {
+        if !tile.is_materialized() {
+            // A hollow tile has no queued work by construction, so nothing
+            // can be dispatch-eligible (and its queue descriptors do not
+            // exist to probe).
+            return false;
+        }
         let decl = &tasks[task];
         let iq = &tile.iqs()[task];
         let has_input = match decl.params {

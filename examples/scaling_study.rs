@@ -15,6 +15,12 @@
 //! output-queue guarantee); CI runs that step as a regression smoke.
 //! `--engine` (or `DALOREX_ENGINE`) picks the cycle engine; the modelled
 //! schedule is engine-independent.
+//!
+//! Each row also prints the run's modeled memory footprint and how many of
+//! the grid's tiles materialized an arena slab: tile state is allocated
+//! lazily on first activity, so idle tiles cost nothing — the mechanism
+//! that lets the same simulator hold paper-scale (millions-of-vertices)
+//! datasets in a CI machine's RAM.
 
 use dalorex::graph::generators::rmat::RmatConfig;
 use dalorex::kernels::BfsKernel;
@@ -52,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_edges()
     );
     println!(
-        "{:>6}  {:>14}  {:>12}  {:>12}  {:>10}  {:>8}",
-        "tiles", "vertices/tile", "cycles", "speedup", "energy(mJ)", "PU util"
+        "{:>6}  {:>14}  {:>12}  {:>12}  {:>10}  {:>8}  {:>13}  {:>12}",
+        "tiles", "vertices/tile", "cycles", "speedup", "energy(mJ)", "PU util", "modeled-bytes", "active-tiles"
     );
 
     let mut baseline_cycles: Option<u64> = None;
@@ -71,13 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = sim.run_with_engine(&BfsKernel::new(0), engine)?;
         let baseline = *baseline_cycles.get_or_insert(outcome.cycles);
         println!(
-            "{:>6}  {:>14}  {:>12}  {:>11.1}x  {:>10.3}  {:>7.1}%",
+            "{:>6}  {:>14}  {:>12}  {:>11.1}x  {:>10.3}  {:>7.1}%  {:>13}  {:>9}/{:<3}",
             tiles,
             graph.num_vertices() / tiles,
             outcome.cycles,
             baseline as f64 / outcome.cycles as f64,
             outcome.total_energy_j() * 1e3,
-            100.0 * outcome.stats.mean_pu_utilization()
+            100.0 * outcome.stats.mean_pu_utilization(),
+            outcome.memory.modeled_total_bytes(),
+            outcome.memory.materialized_tiles,
+            outcome.memory.total_tiles
         );
     }
     println!();

@@ -76,11 +76,18 @@ proptest! {
         capacity in 1usize..24,
         ops in proptest::collection::vec(arb_queue_op(), 1..120),
     ) {
-        // The ring-buffer WordQueue against a straightforward VecDeque
-        // model: pushes, single-word pops, allocation-free invocation pops
-        // and the speculative pop + push-front undo must agree word for
-        // word, and the occupancy statistics must track the model exactly.
-        let mut queue = WordQueue::new(capacity);
+        // The ring-descriptor WordQueue (storage lives in a shared arena
+        // slab; the descriptor only carries offset/capacity/head/len)
+        // against a straightforward VecDeque model: pushes, single-word
+        // pops, allocation-free invocation pops and the speculative pop +
+        // push-front undo must agree word for word, and the occupancy
+        // statistics must track the model exactly.  The ring is placed at
+        // a nonzero slab offset with live guard words on both sides to
+        // catch any out-of-span access.
+        const GUARD: u32 = 0xDEAD_BEEF;
+        let off = 3usize;
+        let mut slab = vec![GUARD; off + capacity + 2];
+        let mut queue = WordQueue::new(off, capacity);
         let mut model: VecDeque<u32> = VecDeque::new();
         let mut model_max = 0usize;
         for op in ops {
@@ -88,20 +95,20 @@ proptest! {
                 QueueOp::Push(words) => {
                     let fits = words.len() <= capacity - model.len();
                     prop_assert_eq!(queue.can_push(words.len()), fits);
-                    prop_assert_eq!(queue.try_push(&words), fits);
+                    prop_assert_eq!(queue.try_push(&mut slab, &words), fits);
                     if fits {
                         model.extend(words.iter().copied());
                         model_max = model_max.max(model.len());
                     }
                 }
                 QueueOp::PopWord => {
-                    prop_assert_eq!(queue.peek(), model.front().copied());
-                    prop_assert_eq!(queue.pop_word(), model.pop_front());
+                    prop_assert_eq!(queue.peek(&slab), model.front().copied());
+                    prop_assert_eq!(queue.pop_word(&slab), model.pop_front());
                 }
                 QueueOp::PopInvocation(count) => {
                     let mut buf = [0u32; 8];
                     let fits = count <= model.len();
-                    prop_assert_eq!(queue.pop_invocation_into(count, &mut buf), fits);
+                    prop_assert_eq!(queue.pop_invocation_into(&slab, count, &mut buf), fits);
                     if fits {
                         let expected: Vec<u32> = model.drain(..count).collect();
                         prop_assert_eq!(&buf[..count], expected.as_slice());
@@ -109,11 +116,11 @@ proptest! {
                 }
                 QueueOp::PopAndRestore(count) => {
                     if count <= model.len() {
-                        let head = queue.pop_invocation(count).unwrap();
+                        let head = queue.pop_invocation(&slab, count).unwrap();
                         let expected: Vec<u32> =
                             model.iter().take(count).copied().collect();
                         prop_assert_eq!(&head, &expected);
-                        queue.push_front_invocation(&head);
+                        queue.push_front_invocation(&mut slab, &head);
                     }
                 }
             }
@@ -121,8 +128,11 @@ proptest! {
             prop_assert_eq!(queue.is_empty(), model.is_empty());
             prop_assert_eq!(queue.free(), capacity - model.len());
             prop_assert_eq!(queue.max_occupancy(), model_max);
-            prop_assert_eq!(queue.iter().collect::<Vec<u32>>(),
+            prop_assert_eq!(queue.iter(&slab).collect::<Vec<u32>>(),
                             model.iter().copied().collect::<Vec<u32>>());
+            // The ring never writes outside its span.
+            prop_assert!(slab[..off].iter().all(|&w| w == GUARD));
+            prop_assert!(slab[off + capacity..].iter().all(|&w| w == GUARD));
         }
     }
 
