@@ -64,7 +64,8 @@ fn main() {
                 let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
                 let options = RunOptions::new(side, scratchpad)
                     .with_endpoint_drains(drains)
-                    .with_engine(cli.engine);
+                    .with_engine(cli.engine)
+                    .with_faults(cli.faults.clone());
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {

@@ -63,7 +63,8 @@ fn main() {
                 let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
                 let options = RunOptions::new(side, scratchpad)
                     .with_endpoint_drains(drains)
-                    .with_engine(cli.engine);
+                    .with_engine(cli.engine)
+                    .with_faults(cli.faults.clone());
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {
@@ -143,7 +144,9 @@ fn paper_scale_rung(
     let workload = Workload::Sssp { root: 0 };
     let tiles = max_side * max_side;
     let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
-    let options = RunOptions::new(max_side, scratchpad).with_engine(cli.engine);
+    let options = RunOptions::new(max_side, scratchpad)
+        .with_engine(cli.engine)
+        .with_faults(cli.faults.clone());
     let outcome = match run_dalorex(&graph, workload, options) {
         Ok(outcome) => outcome,
         Err(err) => {

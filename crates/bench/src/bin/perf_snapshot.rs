@@ -31,6 +31,14 @@
 //! its ratio is already covered by the light cell).  `--full` adds the
 //! 128x128 dense grid from the `sim_128x128_sssp_dense` microbench pair.
 //!
+//! The snapshot ends with the *zero-fault-overhead rung*: the light cell
+//! rerun under an armed-but-never-firing fault plan (windows parked far
+//! beyond the run's horizon) against the empty-plan hot path.  The two
+//! must model the identical cycle count — armed-idle plans are
+//! schedule-invisible, asserted here where the numbers are published —
+//! and the wall-clock ratio is emitted as the `fault-overhead` row
+//! (target <= 1.02; a ratio above 1.25 aborts the snapshot).
+//!
 //! The parallel rungs' speedup depends on the host:
 //! `std::thread::available_parallelism()` is printed on stderr, and on a
 //! single-core machine `parallel:4` is expected to *lose* to skip (four
@@ -43,7 +51,7 @@ use dalorex_graph::generators::rmat::RmatConfig;
 use dalorex_graph::CsrGraph;
 use dalorex_kernels::SsspKernel;
 use dalorex_sim::config::{Engine, GridConfig, SimConfigBuilder};
-use dalorex_sim::Simulation;
+use dalorex_sim::{FaultPlan, Simulation};
 use std::time::Instant;
 
 /// Repetitions per cell; the fastest is reported.
@@ -186,10 +194,79 @@ fn main() {
         }
     }
 
+    fault_overhead_rung(&mut measurements);
+
     table.print(
         &format!("Engine throughput snapshot (modelled cycles per wall-clock second, host parallelism {cores})"),
         cli.csv,
     );
     cli.write_json_if_requested(&measurements);
     cli.report_wall_clock();
+}
+
+/// The zero-fault-overhead rung: the light cell under an armed-but-idle
+/// fault plan (one window of every kind, all parked billions of cycles
+/// past the run) against the empty-plan hot path, on the skip engine.
+/// Asserts the armed-idle plan is schedule-invisible and that the
+/// fault-state checks cost at most 25% wall-clock (the target is 2%; the
+/// hard cap only exists to survive noisy CI hosts without letting a real
+/// regression through).
+fn fault_overhead_rung(measurements: &mut Vec<Measurement>) {
+    const RUNG_REPS: usize = 3;
+    let graph = RmatConfig::new(12, 8).seed(11).build().unwrap();
+    let armed: FaultPlan = "link:tile=5,start=4000000000,end=4000000100;\
+                            stall:tile=9,start=4000000000,end=4000000100;\
+                            slow:tile=3,factor=4,start=4000000000,end=4000000100;\
+                            throttle:tile=7,budget=1,start=4000000000,end=4000000100"
+        .parse()
+        .unwrap();
+    let time = |plan: FaultPlan| {
+        let config = SimConfigBuilder::new(GridConfig::square(32))
+            .scratchpad_bytes(1 << 20)
+            .faults(plan)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        let mut best = f64::INFINITY;
+        let mut cycles = 0;
+        for _ in 0..RUNG_REPS {
+            let started = Instant::now();
+            let outcome = sim
+                .run_with_engine(&SsspKernel::new(0), Engine::Skip)
+                .unwrap();
+            best = best.min(started.elapsed().as_secs_f64());
+            cycles = outcome.cycles;
+        }
+        (cycles, best)
+    };
+    let (empty_cycles, empty_best) = time(FaultPlan::empty());
+    let (armed_cycles, armed_best) = time(armed);
+    assert_eq!(
+        armed_cycles, empty_cycles,
+        "an armed-but-idle fault plan moved the schedule ({armed_cycles} vs {empty_cycles} \
+         cycles) — armed-idle plans must be schedule-invisible"
+    );
+    let ratio = armed_best / empty_best;
+    eprintln!(
+        "zero-fault overhead (armed-idle / empty plan, skip engine): {ratio:.3} \
+         (target <= 1.02, hard cap 1.25)"
+    );
+    assert!(
+        ratio <= 1.25,
+        "armed-idle fault checks cost {ratio:.3}x wall-clock on the empty-plan hot path — \
+         fix the fast path before snapshotting"
+    );
+    measurements.push(Measurement {
+        experiment: "fault-overhead".to_string(),
+        workload: "SSSP".to_string(),
+        dataset: "RMAT-12".to_string(),
+        configuration: "armed-idle vs empty plan, 1024 tiles, engine skip".to_string(),
+        cycles: empty_cycles,
+        energy_j: 0.0,
+        value: ratio,
+        endpoint_drains: 1,
+        rejected_injections: 0,
+        memory: None,
+        peak_rss_bytes: peak_rss_bytes(),
+    });
 }

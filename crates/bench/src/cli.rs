@@ -20,6 +20,15 @@
 //!   supplies a default when the flag is absent — handy for timing a whole
 //!   figure pipeline without editing every invocation — and the flag wins
 //!   when both are given.
+//! * `--faults <plan-file|spec>` — a deterministic fault plan every run is
+//!   driven under.  The value is tried as a file path first (a plan file
+//!   in the [`dalorex_sim::FaultPlan`] spec syntax, `#` comments and
+//!   newlines allowed) and falls back to an inline `;`-separated spec
+//!   (`"stall:tile=3,start=50,end=400;random:seed=7,count=4,horizon=2000"`).
+//!   The `DALOREX_FAULTS` environment variable supplies a default exactly
+//!   like `DALOREX_ENGINE` does for `--engine`, and the flag wins.  All
+//!   five engines apply a plan bit-identically, so `--engine` A/B timing
+//!   stays valid under faults.
 //!
 //! Parse once with [`FigureCli::parse`] at the top of `main`.
 //!
@@ -29,13 +38,14 @@
 //! with exit code 2 and a single diagnostic on stderr: silently measuring
 //! the wrong configuration (or timing the wrong engine under an A/B
 //! label) is exactly the mistake these flags exist to avoid.  This covers
-//! `--engine` (unknown name, missing or empty value, bad env default) and
+//! `--engine` (unknown name, missing or empty value, bad env default),
+//! `--faults` (unreadable plan file, malformed spec, bad env default) and
 //! `--drains` (missing value or no valid entry).  Individually invalid
 //! `--drains` entries alongside valid ones are dropped with a warning so a
 //! long sweep survives one typo, but the run never proceeds on an empty
 //! sweep.
 
-use dalorex_sim::Engine;
+use dalorex_sim::{Engine, FaultPlan};
 use std::time::Instant;
 
 /// Default endpoint budget (messages drained/injected per tile per cycle)
@@ -59,6 +69,9 @@ pub struct FigureCli {
     /// `--engine <name>` (or the `DALOREX_ENGINE` default): the cycle
     /// engine every run uses (default [`Engine::Skip`]).
     pub engine: Engine,
+    /// `--faults <plan-file|spec>` (or the `DALOREX_FAULTS` default): the
+    /// fault plan every run is driven under (default empty — no faults).
+    pub faults: FaultPlan,
     drains: Option<Vec<usize>>,
     started: Instant,
 }
@@ -86,7 +99,8 @@ impl FigureCli {
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let env_engine = std::env::var("DALOREX_ENGINE").ok();
-        match Self::parse_from(&args, env_engine.as_deref()) {
+        let env_faults = std::env::var("DALOREX_FAULTS").ok();
+        match Self::parse_from(&args, env_engine.as_deref(), env_faults.as_deref()) {
             Ok(cli) => cli,
             Err(message) => {
                 eprintln!("{message}");
@@ -96,9 +110,14 @@ impl FigureCli {
     }
 
     /// The testable core of [`FigureCli::parse`]: pure over an argument
-    /// slice (without the program name) and an optional `DALOREX_ENGINE`
-    /// value, returning the diagnostic instead of exiting.
-    fn parse_from(args: &[String], env_engine: Option<&str>) -> Result<Self, String> {
+    /// slice (without the program name) and optional `DALOREX_ENGINE` /
+    /// `DALOREX_FAULTS` values, returning the diagnostic instead of
+    /// exiting.
+    fn parse_from(
+        args: &[String],
+        env_engine: Option<&str>,
+        env_faults: Option<&str>,
+    ) -> Result<Self, String> {
         let engine = match lookup_flag(args, "engine") {
             FlagLookup::Value(name) => name.parse::<Engine>()?,
             FlagLookup::ValueMissing => return Err(engine_value_missing()),
@@ -111,6 +130,15 @@ impl FigureCli {
                 None => Engine::default(),
             },
         };
+        let faults = match lookup_flag(args, "faults") {
+            FlagLookup::Value(value) => faults_value_to_plan(&value)?,
+            FlagLookup::ValueMissing => return Err(faults_value_missing()),
+            FlagLookup::Absent => match env_faults {
+                Some(value) => faults_value_to_plan(value)
+                    .map_err(|err| format!("DALOREX_FAULTS: {err}"))?,
+                None => FaultPlan::empty(),
+            },
+        };
         Ok(FigureCli {
             csv: args.iter().any(|a| a == "--csv"),
             json: match lookup_flag(args, "json") {
@@ -120,6 +148,7 @@ impl FigureCli {
             },
             max_side: max_side_flag(args),
             engine,
+            faults,
             drains: drains_flag(args)?,
             started: Instant::now(),
         })
@@ -162,11 +191,22 @@ impl FigureCli {
     /// compares, on stderr (the tables on stdout stay engine-independent
     /// because the modelled schedule is).  Call at the end of `main`.
     pub fn report_wall_clock(&self) {
-        eprintln!(
-            "engine: {} | wall-clock: {:.2?}",
-            self.engine,
-            self.started.elapsed()
-        );
+        if self.faults.is_empty() {
+            eprintln!(
+                "engine: {} | wall-clock: {:.2?}",
+                self.engine,
+                self.started.elapsed()
+            );
+        } else {
+            // Name the plan so an A/B pair accidentally run under
+            // different fault plans cannot be compared unnoticed.
+            eprintln!(
+                "engine: {} | faults: {} | wall-clock: {:.2?}",
+                self.engine,
+                self.faults,
+                self.started.elapsed()
+            );
+        }
     }
 }
 
@@ -174,6 +214,28 @@ impl FigureCli {
 /// `--engine=` share it).
 fn engine_value_missing() -> String {
     "--engine requires a value (reference, ticked, skip, calendar or parallel[:N])".to_string()
+}
+
+/// The one `--faults`-without-a-value diagnostic.
+fn faults_value_missing() -> String {
+    "--faults requires a value (a plan file path or an inline spec like \
+     \"stall:tile=3,start=50,end=400\")"
+        .to_string()
+}
+
+/// Resolves a `--faults` value into a plan: a readable file wins (its
+/// *contents* are the spec — a file full of typos must not silently fall
+/// back to parsing the file *name*), otherwise the value itself is parsed
+/// as an inline spec.
+fn faults_value_to_plan(value: &str) -> Result<FaultPlan, String> {
+    if let Ok(contents) = std::fs::read_to_string(value) {
+        return contents
+            .parse()
+            .map_err(|err| format!("fault plan file {value:?}: {err}"));
+    }
+    value.parse().map_err(|err| {
+        format!("--faults value {value:?} is neither a readable plan file nor a valid spec: {err}")
+    })
 }
 
 /// Returns the value of `--<name> <value>` or `--<name>=<value>` on the
@@ -294,13 +356,14 @@ mod tests {
         let cli = FigureCli::parse_from(
             &args(&["--engine", "calendar", "--drains", "1,2,4", "--csv"]),
             None,
+            None,
         )
         .unwrap();
         assert!(cli.csv);
         assert_eq!(cli.engine, Engine::Calendar);
         assert_eq!(cli.drains(), vec![1, 2, 4]);
 
-        let cli = FigureCli::parse_from(&args(&["--engine=parallel:3"]), None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--engine=parallel:3"]), None, None).unwrap();
         assert_eq!(cli.engine, Engine::Parallel { workers: 3 });
     }
 
@@ -316,32 +379,93 @@ mod tests {
             args(&["--engine", "--csv"]),
             args(&["--engine="]),
         ] {
-            let err = FigureCli::parse_from(&case, None).unwrap_err();
+            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
             assert_eq!(err, expected, "case: {case:?}");
         }
     }
 
     #[test]
     fn unknown_engine_is_fatal() {
-        let err = FigureCli::parse_from(&args(&["--engine", "warp"]), None).unwrap_err();
+        let err = FigureCli::parse_from(&args(&["--engine", "warp"]), None, None).unwrap_err();
         assert!(err.contains("warp"), "diagnostic names the bad value: {err}");
-        let err = FigureCli::parse_from(&args(&["--engine", "parallel:zero"]), None).unwrap_err();
+        let err = FigureCli::parse_from(&args(&["--engine", "parallel:zero"]), None, None).unwrap_err();
         assert!(err.contains("zero"), "diagnostic names the bad count: {err}");
     }
 
     #[test]
     fn env_engine_is_the_default_and_the_flag_wins() {
-        let cli = FigureCli::parse_from(&[], Some("calendar")).unwrap();
+        let cli = FigureCli::parse_from(&[], Some("calendar"), None).unwrap();
         assert_eq!(cli.engine, Engine::Calendar);
         let cli =
-            FigureCli::parse_from(&args(&["--engine", "ticked"]), Some("calendar")).unwrap();
+            FigureCli::parse_from(&args(&["--engine", "ticked"]), Some("calendar"), None).unwrap();
         assert_eq!(cli.engine, Engine::Ticked);
         // A broken env default must not silently fall back — unless the
         // flag overrides it, in which case the env value is never parsed.
-        let err = FigureCli::parse_from(&[], Some("warp")).unwrap_err();
+        let err = FigureCli::parse_from(&[], Some("warp"), None).unwrap_err();
         assert!(err.starts_with("DALOREX_ENGINE:"), "{err}");
-        let cli = FigureCli::parse_from(&args(&["--engine", "skip"]), Some("warp")).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--engine", "skip"]), Some("warp"), None).unwrap();
         assert_eq!(cli.engine, Engine::Skip);
+    }
+
+    #[test]
+    fn faults_flag_parses_inline_specs_and_defaults_to_empty() {
+        let cli = FigureCli::parse_from(&[], None, None).unwrap();
+        assert!(cli.faults.is_empty());
+        let cli = FigureCli::parse_from(
+            &args(&["--faults", "stall:tile=3,start=50,end=400;link:tile=1,start=10,end=20"]),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(cli.faults.events.len(), 2);
+        let cli =
+            FigureCli::parse_from(&args(&["--faults=random:seed=7,count=4,horizon=2000"]), None, None)
+                .unwrap();
+        assert!(cli.faults.random.is_some());
+    }
+
+    #[test]
+    fn faults_flag_reads_plan_files() {
+        let path = std::env::temp_dir().join("dalorex_cli_test_plan.faults");
+        std::fs::write(
+            &path,
+            "# two windows\nstall:tile=3,start=50,end=400\nslow:tile=1,factor=2,start=0,end=100\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap().to_string();
+        let cli = FigureCli::parse_from(&args(&["--faults", &path]), None, None).unwrap();
+        assert_eq!(cli.faults.events.len(), 2);
+        // A readable file full of garbage is fatal — it must not silently
+        // fall back to parsing the file *name* as a spec.
+        std::fs::write(&path, "not a fault spec").unwrap();
+        let err = FigureCli::parse_from(&args(&["--faults", &path]), None, None).unwrap_err();
+        assert!(err.contains("fault plan file"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faults_errors_are_fatal_and_the_flag_wins_over_the_env() {
+        let expected = faults_value_missing();
+        for case in [args(&["--faults"]), args(&["--faults", "--csv"]), args(&["--faults="])] {
+            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
+            assert_eq!(err, expected, "case: {case:?}");
+        }
+        let err =
+            FigureCli::parse_from(&args(&["--faults", "warp:tile=1"]), None, None).unwrap_err();
+        assert!(err.contains("warp"), "diagnostic names the bad value: {err}");
+
+        let cli =
+            FigureCli::parse_from(&[], None, Some("stall:tile=0,start=1,end=2")).unwrap();
+        assert_eq!(cli.faults.events.len(), 1);
+        let err = FigureCli::parse_from(&[], None, Some("warp:tile=1")).unwrap_err();
+        assert!(err.starts_with("DALOREX_FAULTS:"), "{err}");
+        let cli = FigureCli::parse_from(
+            &args(&["--faults", "link:tile=2,start=5,end=9"]),
+            None,
+            Some("warp:tile=1"),
+        )
+        .unwrap();
+        assert_eq!(cli.faults.events.len(), 1);
     }
 
     #[test]
@@ -355,14 +479,14 @@ mod tests {
             args(&["--drains"]),
             args(&["--drains", "--csv"]),
         ] {
-            let err = FigureCli::parse_from(&case, None).unwrap_err();
+            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
             assert!(err.contains("--drains"), "case {case:?}: {err}");
         }
     }
 
     #[test]
     fn partially_invalid_drains_list_keeps_the_valid_entries() {
-        let cli = FigureCli::parse_from(&args(&["--drains", "1,oops,4"]), None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--drains", "1,oops,4"]), None, None).unwrap();
         assert_eq!(cli.drains(), vec![1, 4]);
     }
 

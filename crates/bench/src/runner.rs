@@ -5,10 +5,10 @@ use dalorex_graph::CsrGraph;
 use dalorex_noc::Topology;
 use dalorex_sim::config::{BarrierMode, Engine, GridConfig, SimConfigBuilder};
 use dalorex_sim::engine::SimOutcome;
-use dalorex_sim::{SimError, Simulation};
+use dalorex_sim::{FaultPlan, SimError, Simulation};
 
 /// Options for a single Dalorex run used by the figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Grid side (the run uses `side x side` tiles).
     pub side: usize,
@@ -24,6 +24,11 @@ pub struct RunOptions {
     /// simulator wall-clock — the figure binaries expose it as
     /// `--engine`).
     pub engine: Engine,
+    /// Fault plan the run is driven under (default empty — no faults; the
+    /// figure binaries expose it as `--faults`).  Unlike `engine`, a
+    /// non-empty plan *does* change the modelled schedule — identically on
+    /// every engine.
+    pub faults: FaultPlan,
 }
 
 impl RunOptions {
@@ -36,6 +41,7 @@ impl RunOptions {
             scratchpad_bytes,
             endpoint_drains: 1,
             engine: Engine::default(),
+            faults: FaultPlan::empty(),
         }
     }
 
@@ -54,6 +60,12 @@ impl RunOptions {
     /// Overrides the cycle engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Overrides the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -77,6 +89,7 @@ pub fn run_dalorex(
         .scratchpad_bytes(options.scratchpad_bytes)
         .endpoint_drains_per_cycle(options.endpoint_drains)
         .engine(options.engine)
+        .faults(options.faults.clone())
         .barrier_mode(if workload.requires_barrier() {
             BarrierMode::EpochBarrier
         } else {
@@ -165,6 +178,24 @@ mod tests {
             assert_eq!(outcome.stats, base.stats, "stats diverged on {engine}");
             assert_eq!(outcome.output, base.output, "output diverged on {engine}");
         }
+    }
+
+    #[test]
+    fn fault_plan_override_reaches_the_simulator() {
+        let graph = RmatConfig::new(7, 5).seed(3).build().unwrap();
+        let plan: FaultPlan = "stall:tile=0,start=10,end=200".parse().unwrap();
+        let faulted = run_dalorex(
+            &graph,
+            Workload::Bfs { root: 0 },
+            RunOptions::new(2, 1 << 20).with_faults(plan),
+        )
+        .unwrap();
+        let clean = run_dalorex(&graph, Workload::Bfs { root: 0 }, RunOptions::new(2, 1 << 20))
+            .unwrap();
+        // Faults delay, never drop: same answer, a non-empty impact report.
+        assert_eq!(faulted.output, clean.output);
+        assert!(!faulted.fault.is_empty());
+        assert!(clean.fault.is_empty());
     }
 
     #[test]

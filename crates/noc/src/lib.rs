@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod router;
@@ -68,6 +69,7 @@ pub mod topology;
 mod error;
 
 pub use error::NocError;
+pub use fault::{FaultImpact, NocFaultEvent, NocFaults};
 pub use message::{Message, MAX_FLITS};
 pub use network::shard::{EndpointShard, ShardBuffers, TileEndpoint};
 pub use network::{Network, NocMemoryReport};
@@ -137,6 +139,10 @@ pub struct NocConfig {
     /// [`RouterScheduler::Scan`]).  Schedules and statistics are identical
     /// either way; only simulator wall-clock differs.
     pub router_scheduler: RouterScheduler,
+    /// Scheduled fabric faults (default none).  See [`fault`] for the
+    /// model; an empty schedule compiles to nothing and leaves the hot
+    /// path untouched.
+    pub faults: NocFaults,
 }
 
 impl NocConfig {
@@ -151,6 +157,7 @@ impl NocConfig {
             ejection_buffer_flits: 16,
             endpoint_drains_per_cycle: 1,
             router_scheduler: RouterScheduler::default(),
+            faults: NocFaults::default(),
         }
     }
 
@@ -182,6 +189,12 @@ impl NocConfig {
     /// Selects the per-cycle router scheduler.
     pub fn with_router_scheduler(mut self, scheduler: RouterScheduler) -> Self {
         self.router_scheduler = scheduler;
+        self
+    }
+
+    /// Installs a fabric fault schedule (link outages, router stalls).
+    pub fn with_faults(mut self, faults: NocFaults) -> Self {
+        self.faults = faults;
         self
     }
 }

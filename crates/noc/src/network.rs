@@ -243,6 +243,12 @@ pub struct Network {
     /// from a buffer the waiter was not blocked on) cost one no-op re-scan
     /// and re-registration — never a schedule change.
     waiters: Vec<Vec<TileId>>,
+    /// The compiled fault schedule (`None` when [`NocConfig::faults`] is
+    /// empty — the hot path then pays one pointer test per router scan).
+    /// A stalled router or blacked-out link forwards nothing during its
+    /// window and contributes the window's end as a next-event candidate,
+    /// so both schedulers wake it at the transition.
+    faults: Option<Box<crate::fault::CompiledNocFaults>>,
 }
 
 /// Per-router result of one port scan, accumulated by
@@ -359,8 +365,27 @@ impl Network {
             } else {
                 Vec::new()
             },
+            faults: crate::fault::CompiledNocFaults::compile(&config.faults, num_tiles),
             config,
         }
+    }
+
+    /// Aligns the fault schedule's clock with a driver that advances its
+    /// own cycle count past the network's: fault windows are expressed in
+    /// driver cycles, and the network evaluates them at
+    /// `current_cycle + offset`.  A no-op without a fault schedule.
+    pub fn set_fault_time_offset(&mut self, offset: u64) {
+        if let Some(faults) = self.faults.as_deref_mut() {
+            faults.offset = offset;
+        }
+    }
+
+    /// Per-event impact counters, index-aligned with
+    /// [`NocConfig::faults`]'s events (empty without a fault schedule).
+    /// Derived from committed forwards only, so bit-identical across
+    /// schedulers.
+    pub fn fault_impacts(&self) -> &[crate::fault::FaultImpact] {
+        self.faults.as_deref().map_or(&[], |f| &f.impacts)
     }
 
     /// The drain version of `tile`'s router: a counter that advances every
@@ -996,15 +1021,33 @@ impl Network {
         let mut still_active: Vec<TileId> = Vec::with_capacity(snapshot.len());
         for tile in snapshot {
             self.active[tile] = false;
-            for port in Port::ALL {
-                if port == Port::Local {
-                    continue;
+            // Mirror of the scan schedulers' fault gates: a stalled router
+            // scans nothing, a blacked-out link forwards nothing.  (The
+            // skipped busy-link `account_busy` call is provably a no-op —
+            // `commit_forward` covers the full serialization interval up
+            // front — so busy statistics cannot diverge.)
+            let stalled = self
+                .faults
+                .as_deref()
+                .is_some_and(|f| f.stall_candidate(tile, now).is_some());
+            if !stalled {
+                for port in Port::ALL {
+                    if port == Port::Local {
+                        continue;
+                    }
+                    if self
+                        .faults
+                        .as_deref()
+                        .is_some_and(|f| f.outage_candidate(tile, port, now).is_some())
+                    {
+                        continue;
+                    }
+                    if self.routers[tile].link_busy_until(port) > now {
+                        self.account_busy(tile, now, now + 1);
+                        continue;
+                    }
+                    self.try_forward_reference(tile, port, now);
                 }
-                if self.routers[tile].link_busy_until(port) > now {
-                    self.account_busy(tile, now, now + 1);
-                    continue;
-                }
-                self.try_forward_reference(tile, port, now);
             }
             if self.routers[tile].buffered_messages() > 0 && !self.active[tile] {
                 self.active[tile] = true;
@@ -1027,6 +1070,17 @@ impl Network {
         let mut scan = RouterScan {
             min_candidate: u64::MAX,
         };
+        if let Some(faults) = self.faults.as_deref() {
+            if let Some(recovery) = faults.stall_candidate(tile, now) {
+                // The whole router is stalled: it provably commits nothing
+                // before the stall window ends, so the window's end is its
+                // next-event candidate (and, under the calendar scheduler,
+                // its fresh due stamp — the walk wakes it at the
+                // transition, exactly like a busy link).
+                scan.min_candidate = recovery;
+                return scan;
+            }
+        }
         for i in 0..self.forward_ports.len() {
             let port = self.forward_ports[i];
             let router = &self.routers[tile];
@@ -1034,6 +1088,14 @@ impl Network {
                 // Nothing buffered here.  Any residual link serialization was
                 // fully accounted when the occupying message was forwarded.
                 continue;
+            }
+            if let Some(faults) = self.faults.as_deref() {
+                if let Some(recovery) = faults.outage_candidate(tile, port, now) {
+                    // The link is blacked out: buffered messages wait until
+                    // the outage window ends.
+                    scan.min_candidate = scan.min_candidate.min(recovery);
+                    continue;
+                }
             }
             let busy_until = router.link_busy_until(port);
             if busy_until > now {
@@ -1191,6 +1253,11 @@ impl Network {
             .pop(port, channel)
             .expect("forwardable message exists");
         self.buffered_count[tile] -= 1;
+        if let Some(faults) = self.faults.as_deref_mut() {
+            // Attribute the head's wait to any fault window it overlapped —
+            // at the commit, the one event every scheduler agrees on.
+            faults.record_commit(tile, port, queued.ready_at, now);
+        }
         // The freed output-buffer space may unblock an upstream waiter: it
         // contends at `now` if it sits after this router in the walk (file
         // under `now + 1`, the first undrained bucket — the current walk

@@ -9,6 +9,7 @@
 //! built.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::placement::VertexPlacement;
 use dalorex_noc::{GridShape, Topology};
 
@@ -224,6 +225,10 @@ pub struct SimConfig {
     /// so the only reason to flip this is to measure the idle-tile memory
     /// laziness saves, or to serve as the eager oracle in that suite.
     pub eager_tile_init: bool,
+    /// Deterministic fault schedule applied bit-identically by every cycle
+    /// engine (default empty = schedule-invisible).  See
+    /// [`crate::fault::FaultPlan`] for the model and spec format.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -283,6 +288,7 @@ impl SimConfigBuilder {
                 invocation_overhead_cycles: 0,
                 engine: Engine::default(),
                 eager_tile_init: false,
+                faults: FaultPlan::default(),
             },
         }
     }
@@ -372,6 +378,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule (default empty).  An empty
+    /// plan is schedule-invisible; a non-empty plan degrades the run but
+    /// stays bit-identical across all five cycle engines.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -404,6 +418,11 @@ impl SimConfigBuilder {
             if factor < 2 {
                 return reject("ruche factor must be at least 2");
             }
+        }
+        if let Err(reason) = c.faults.resolve(c.grid.num_tiles()) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("invalid fault plan: {reason}"),
+            });
         }
         Ok(self.config)
     }

@@ -45,7 +45,8 @@
 use crate::config::{BarrierMode, Engine, SimConfig};
 use crate::context::{InvocationCost, SimBootstrapContext, SimEpochContext, SimTaskContext};
 use crate::energy::{EnergyBreakdown, EnergyConstants, EnergyModel};
-use crate::error::SimError;
+use crate::error::{BlockedTile, DeadlockDiagnostics, SimError};
+use crate::fault::{ArmedFaults, FaultEvent, FaultImpactEntry, FaultReport};
 use crate::kernel::{ChannelDecl, EpochDecision, Kernel, TaskDecl, TaskParams};
 use crate::memory::MemoryReport;
 use crate::output::KernelOutput;
@@ -89,6 +90,10 @@ pub struct SimOutcome {
     /// that legitimately differs between engines, while stats are pinned
     /// bit-identical across the equivalence square.
     pub memory: MemoryReport,
+    /// Per-event fault impact accounting (empty for an empty
+    /// [`crate::fault::FaultPlan`]).  Derived entirely from schedule facts,
+    /// so it is bit-identical across the five-engine equivalence square.
+    pub fault: FaultReport,
 }
 
 impl SimOutcome {
@@ -175,6 +180,46 @@ fn tile_next_event(h: &HotTile, now: u64) -> u64 {
     u64::MAX
 }
 
+/// Builds the structured [`DeadlockDiagnostics`] payload for a watchdog
+/// firing.  Reads only schedule-identical state (tile queue occupancies
+/// through the hollow-safe accessors, the network's in-flight counters and
+/// the progress markers), so every engine attaches a bit-identical snapshot
+/// — pinned by `tests/engine_error_parity.rs`.
+fn deadlock_diagnostics(
+    tiles: &[TileState],
+    network: &Network,
+    last_progress_cycle: u64,
+    total_dispatches: u64,
+) -> Box<DeadlockDiagnostics> {
+    let mut blocked_tiles = Vec::new();
+    let mut blocked_tiles_total = 0usize;
+    for tile in tiles {
+        let iq_words: usize = tile.iqs().iter().map(|q| q.len()).sum();
+        let cq_words: usize = tile.cqs().iter().map(|q| q.len()).sum();
+        let undrained_deliveries = network.delivered_waiting(tile.tile);
+        if iq_words == 0 && cq_words == 0 && undrained_deliveries == 0 {
+            continue;
+        }
+        blocked_tiles_total += 1;
+        if blocked_tiles.len() < DeadlockDiagnostics::MAX_BLOCKED_TILES {
+            blocked_tiles.push(BlockedTile {
+                tile: tile.tile,
+                iq_words,
+                cq_words,
+                undrained_deliveries,
+            });
+        }
+    }
+    Box::new(DeadlockDiagnostics {
+        last_progress_cycle,
+        total_dispatches,
+        messages_in_flight: network.in_flight(),
+        messages_awaiting_ejection: network.awaiting_ejection(),
+        blocked_tiles_total,
+        blocked_tiles,
+    })
+}
+
 /// Per-tile injection parking state (fast path only).  A channel whose
 /// injection the router rejected stays parked until the router's drain
 /// version moves — until then every retry is guaranteed to fail
@@ -226,6 +271,9 @@ pub struct Simulation {
     csr: Vec<TileCsr>,
     energy_model: EnergyModel,
     area_model: AreaModel,
+    /// The resolved, compiled fault plan — `None` for the (default) empty
+    /// plan, so fault-free runs pay one branch per fault-aware decision.
+    faults: Option<Box<ArmedFaults>>,
 }
 
 impl Simulation {
@@ -272,12 +320,20 @@ impl Simulation {
             config.scratchpad_bytes,
             config.topology,
         );
+        // `SimConfig::build` already validated the plan, but arming must
+        // stay correct for configs constructed before a grid resize or
+        // hand-assembled in tests.
+        let faults = ArmedFaults::arm(&config.faults, num_tiles)
+            .map_err(|reason| SimError::InvalidConfig {
+                reason: format!("invalid fault plan: {reason}"),
+            })?;
         Ok(Simulation {
             config,
             placement,
             csr,
             energy_model,
             area_model,
+            faults,
         })
     }
 
@@ -422,12 +478,15 @@ impl Simulation {
             kernel.bootstrap(&mut ctx);
         }
 
-        let noc_config = NocConfig::new(self.config.grid.shape(), self.config.topology)
+        let mut noc_config = NocConfig::new(self.config.grid.shape(), self.config.topology)
             .with_channels(channels.len().max(1))
             .with_buffer_flits(self.config.noc_buffer_flits)
             .with_ejection_buffer_flits(self.config.noc_ejection_flits)
             .with_endpoint_drains(self.config.endpoint_drains_per_cycle)
             .with_router_scheduler(router_scheduler);
+        if let Some(armed) = self.faults.as_deref() {
+            noc_config = noc_config.with_faults(armed.noc_faults.clone());
+        }
         let network = Network::new(noc_config);
 
         let schedulers: Vec<Scheduler> = (0..num_tiles)
@@ -516,6 +575,9 @@ impl Simulation {
                         epochs += 1;
                         cycle += self.config.epoch_broadcast_cycles;
                         epoch_offset += self.config.epoch_broadcast_cycles;
+                        // Fault windows are in engine time; keep the
+                        // network's compiled schedule in the same clock.
+                        network.set_fault_time_offset(epoch_offset);
                         for tile in woken {
                             // The epoch trigger pushed invocations outside
                             // tile_cycle: refresh the action snapshot.
@@ -534,6 +596,12 @@ impl Simulation {
                                 cycle,
                                 network_messages: 0,
                                 queued_invocations: 0,
+                                diagnostics: deadlock_diagnostics(
+                                    &tiles,
+                                    &network,
+                                    last_progress_cycle,
+                                    total_dispatches,
+                                ),
                             });
                         }
                         continue;
@@ -669,6 +737,12 @@ impl Simulation {
                     cycle,
                     network_messages: network.in_flight() + network.awaiting_ejection(),
                     queued_invocations: queued,
+                    diagnostics: deadlock_diagnostics(
+                        &tiles,
+                        &network,
+                        last_progress_cycle,
+                        total_dispatches,
+                    ),
                 });
             }
 
@@ -688,9 +762,20 @@ impl Simulation {
                 let network_event = network.next_event_cycle().saturating_add(epoch_offset);
                 let target = network_event.min(tile_event_min);
                 // Clamp to the failure horizons so the cycle-limit and
-                // watchdog errors fire at the same cycle as when ticking.
+                // watchdog errors fire at the same cycle as when ticking,
+                // and to the next fault transition so the engine lands on
+                // every window edge instead of jumping it (the skipped
+                // cycles are proven no-ops either way; the clamp is the
+                // belt over the network's own recovery candidates).
                 let deadline = last_progress_cycle + self.config.watchdog_cycles + 1;
-                let stop = target.min(self.config.max_cycles).min(deadline);
+                let fault_edge = self
+                    .faults
+                    .as_deref()
+                    .map_or(u64::MAX, |f| f.next_transition_after(cycle));
+                let stop = target
+                    .min(self.config.max_cycles)
+                    .min(deadline)
+                    .min(fault_edge);
                 if stop > cycle {
                     let span = stop - cycle;
                     let mut kept = 0;
@@ -735,6 +820,12 @@ impl Simulation {
                             cycle,
                             network_messages: network.in_flight() + network.awaiting_ejection(),
                             queued_invocations: queued,
+                            diagnostics: deadlock_diagnostics(
+                                &tiles,
+                                &network,
+                                last_progress_cycle,
+                                total_dispatches,
+                            ),
                         });
                     }
                 }
@@ -819,7 +910,87 @@ impl Simulation {
             stats,
             output,
             memory,
+            fault: self.assemble_fault_report(tiles, network),
         })
+    }
+
+    /// Assembles the per-event [`FaultReport`]: fabric-side counters come
+    /// from the network's per-event accounting (mapped back to plan order),
+    /// tile-side counters from the per-tile fault counters (attributed to
+    /// every slowdown/throttle event on that tile — see
+    /// [`FaultImpactEntry`] on the shared attribution).
+    fn assemble_fault_report(&self, tiles: &[TileState], network: &Network) -> FaultReport {
+        let Some(armed) = self.faults.as_deref() else {
+            return FaultReport::default();
+        };
+        let mut entries: Vec<FaultImpactEntry> = armed
+            .events
+            .iter()
+            .map(|&event| FaultImpactEntry {
+                event,
+                messages_delayed: 0,
+                delayed_cycles: 0,
+                dispatches_slowed: 0,
+                extra_pu_cycles: 0,
+                throttled_messages: 0,
+            })
+            .collect();
+        for (noc_index, impact) in network.fault_impacts().iter().enumerate() {
+            let entry = &mut entries[armed.noc_event_map[noc_index]];
+            entry.messages_delayed = impact.messages_delayed;
+            entry.delayed_cycles = impact.delayed_cycles;
+        }
+        for tile in tiles {
+            let counters = &tile.counters;
+            if counters.fault_dispatches_slowed == 0 && counters.fault_throttled_messages == 0 {
+                continue;
+            }
+            for (entry, event) in entries.iter_mut().zip(&armed.events) {
+                match *event {
+                    FaultEvent::PuSlowdown { tile: t, .. } if t == tile.tile => {
+                        entry.dispatches_slowed += counters.fault_dispatches_slowed;
+                        entry.extra_pu_cycles += counters.fault_extra_pu_cycles;
+                    }
+                    FaultEvent::EndpointThrottle { tile: t, .. } if t == tile.tile => {
+                        entry.throttled_messages += counters.fault_throttled_messages;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        FaultReport { entries }
+    }
+
+    /// Applies any active PU-slowdown fault at `tile` to a dispatch cost,
+    /// accounting the stretch in the tile's fault counters.  Dispatches
+    /// only happen on simulated cycles (a dispatchable tile always forces
+    /// an engine event), so the factor is sampled at the same cycle by
+    /// every engine.
+    fn fault_slowed_cost(&self, tile: &mut TileState, cycle: u64, cost: u64) -> u64 {
+        let Some(armed) = self.faults.as_deref() else {
+            return cost;
+        };
+        let factor = armed.slow_factor(tile.tile, cycle);
+        if factor == 1 {
+            return cost;
+        }
+        let slowed = cost.saturating_mul(factor);
+        tile.counters.fault_dispatches_slowed += 1;
+        tile.counters.fault_extra_pu_cycles += slowed - cost;
+        slowed
+    }
+
+    /// The endpoint drain/inject budget effective at `tile` on `cycle`:
+    /// the configured budget unless an endpoint-throttle window is active
+    /// (never below 1, so a throttle delays progress but cannot deny it —
+    /// which is also what keeps the skip engines' bulk parked-rejection
+    /// accounting exact under throttles).
+    fn fault_endpoint_budget(&self, tile: usize, cycle: u64) -> usize {
+        let configured = self.config.endpoint_drains_per_cycle;
+        match self.faults.as_deref() {
+            Some(armed) => armed.endpoint_budget(tile, cycle, configured),
+            None => configured,
+        }
     }
 
     /// One TSU + PU cycle on one tile — the allocation-free hot path.
@@ -856,7 +1027,7 @@ impl Simulation {
         total_dispatches: &mut u64,
     ) {
         let tile_id = tile.tile;
-        let endpoint_budget = self.config.endpoint_drains_per_cycle;
+        let endpoint_budget = self.fault_endpoint_budget(tile_id, cycle);
         let masked = tile.masks_exact() && channels.len() <= 32;
         if !masked {
             // Declarations beyond the mask widths: keep the exact reference
@@ -1017,6 +1188,12 @@ impl Simulation {
         }
         park.version = drain_version;
         park.mask = parked;
+        if endpoint_budget < self.config.endpoint_drains_per_cycle {
+            // Throttled this cycle: count the traffic that moved under the
+            // cap (idle throttled tiles contribute 0, identically in every
+            // engine — skipped cycles move no messages).
+            tile.counters.fault_throttled_messages += (drained + injected) as u64;
+        }
 
         // 3. Dispatch a task to the PU if it is free.
         'dispatch: {
@@ -1059,6 +1236,7 @@ impl Simulation {
             };
             kernel.execute(task, params, &mut ctx);
             let cost = (ctx.cost.cycles + self.config.invocation_overhead_cycles).max(1);
+            let cost = self.fault_slowed_cost(tile, cycle, cost);
             tile.counters.task_invocations[task] += 1;
             tile.counters.pu_busy_cycles += cost;
             tile.pu_busy_until = cycle + cost;
@@ -1096,7 +1274,7 @@ impl Simulation {
         total_dispatches: &mut u64,
     ) {
         let tile_id = tile.tile;
-        let endpoint_budget = self.config.endpoint_drains_per_cycle;
+        let endpoint_budget = self.fault_endpoint_budget(tile_id, cycle);
 
         // 1. Drain: scan the channels in declaration order, repeatedly.
         let mut drained = 0usize;
@@ -1186,6 +1364,12 @@ impl Simulation {
             }
         }
 
+        if endpoint_budget < self.config.endpoint_drains_per_cycle {
+            // Throttled this cycle: count the traffic that moved under the
+            // cap (mirrors the fast path exactly).
+            tile.counters.fault_throttled_messages += (drained + injected) as u64;
+        }
+
         // 3. Dispatch a task to the PU if it is free.
         if tile.pu_busy_until > cycle {
             return;
@@ -1214,6 +1398,7 @@ impl Simulation {
         };
         kernel.execute(task, &params, &mut ctx);
         let cost = (ctx.cost.cycles + self.config.invocation_overhead_cycles).max(1);
+        let cost = self.fault_slowed_cost(tile, cycle, cost);
         tile.counters.task_invocations[task] += 1;
         tile.counters.pu_busy_cycles += cost;
         tile.pu_busy_until = cycle + cost;

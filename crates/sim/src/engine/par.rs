@@ -391,6 +391,9 @@ impl Simulation {
                             epochs += 1;
                             cycle += self.config.epoch_broadcast_cycles;
                             epoch_offset += self.config.epoch_broadcast_cycles;
+                            // Fault windows are in engine time; keep the
+                            // network's compiled schedule in the same clock.
+                            network.set_fault_time_offset(epoch_offset);
                             for tile in woken {
                                 hot[tile] =
                                     HotTile::snapshot(&tiles[tile], hot[tile].delivery_pending);
@@ -404,6 +407,12 @@ impl Simulation {
                                     cycle,
                                     network_messages: 0,
                                     queued_invocations: 0,
+                                    diagnostics: deadlock_diagnostics(
+                                        &tiles,
+                                        &network,
+                                        last_progress_cycle,
+                                        total_dispatches,
+                                    ),
                                 });
                             }
                             continue;
@@ -522,6 +531,12 @@ impl Simulation {
                         cycle,
                         network_messages: network.in_flight() + network.awaiting_ejection(),
                         queued_invocations: queued,
+                        diagnostics: deadlock_diagnostics(
+                            &tiles,
+                            &network,
+                            last_progress_cycle,
+                            total_dispatches,
+                        ),
                     });
                 }
 
@@ -531,7 +546,14 @@ impl Simulation {
                     let network_event = network.next_event_cycle().saturating_add(epoch_offset);
                     let target = network_event.min(tile_event_min);
                     let deadline = last_progress_cycle + self.config.watchdog_cycles + 1;
-                    let stop = target.min(self.config.max_cycles).min(deadline);
+                    let fault_edge = self
+                        .faults
+                        .as_deref()
+                        .map_or(u64::MAX, |f| f.next_transition_after(cycle));
+                    let stop = target
+                        .min(self.config.max_cycles)
+                        .min(deadline)
+                        .min(fault_edge);
                     if stop > cycle {
                         let span = stop - cycle;
                         let mut kept = 0;
@@ -573,6 +595,12 @@ impl Simulation {
                                 network_messages: network.in_flight()
                                     + network.awaiting_ejection(),
                                 queued_invocations: queued,
+                                diagnostics: deadlock_diagnostics(
+                                    &tiles,
+                                    &network,
+                                    last_progress_cycle,
+                                    total_dispatches,
+                                ),
                             });
                         }
                     }

@@ -45,6 +45,7 @@ pub mod area;
 pub mod config;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod output;
@@ -59,7 +60,8 @@ mod error;
 
 pub use config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfig, SimConfigBuilder};
 pub use engine::{SimOutcome, Simulation};
-pub use error::SimError;
+pub use error::{BlockedTile, DeadlockDiagnostics, SimError};
+pub use fault::{FaultEvent, FaultImpactEntry, FaultPlan, FaultReport, RandomFaultSpec};
 pub use kernel::Kernel;
 pub use memory::MemoryReport;
 pub use output::KernelOutput;

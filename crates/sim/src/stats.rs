@@ -148,6 +148,7 @@ mod tests {
             edges_processed: 10,
             messages_sent: 4,
             messages_received: 3,
+            ..TileCounters::default()
         }
     }
 

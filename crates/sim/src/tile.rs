@@ -151,6 +151,15 @@ pub struct TileCounters {
     /// cycle; conservation (`received == delivered` network-wide at
     /// quiescence) is what the property suite checks.
     pub messages_received: u64,
+    /// Task dispatches whose PU cost a fault-plan PU slowdown multiplied.
+    /// The fault counters feed the per-run `FaultReport`, not `SimStats` —
+    /// they are attribution metadata, not modelled activity.
+    pub fault_dispatches_slowed: u64,
+    /// Extra PU-busy cycles those slowed dispatches cost versus fault-free.
+    pub fault_extra_pu_cycles: u64,
+    /// Messages drained or injected on cycles an endpoint-throttle fault
+    /// capped this tile's bandwidth.
+    pub fault_throttled_messages: u64,
 }
 
 /// Per-task scheduling metadata derived from the kernel declarations once,

@@ -20,7 +20,7 @@ use dalorex::sim::kernel::{
     BootstrapContext, ChannelDecl, EpochContext, EpochDecision, Kernel, LocalArrayDecl,
     TaskContext, TaskDecl, TaskParams,
 };
-use dalorex::sim::{ArraySpace, SimError, Simulation, VertexPlacement};
+use dalorex::sim::{ArraySpace, FaultEvent, FaultPlan, SimError, Simulation, VertexPlacement};
 
 /// All five engines plus explicitly sized parallel pools (2 workers, and 3
 /// so the shard boundaries do not divide the tile count evenly).
@@ -162,6 +162,101 @@ fn watchdog_deadline_fires_identically_on_wedged_pipelines() {
         );
         assert_error_parity(&sim, &StuckKernel, &format!("watchdog={watchdog}"));
     }
+}
+
+/// The cycle-limit boundary under a non-empty fault plan: the skip-family
+/// engines now juggle three horizon clamps (`max_cycles`, the watchdog
+/// deadline and the next fault transition), and the tightest must win on
+/// every engine — `CycleLimitExceeded` still fires on the identical cycle
+/// with the identical payload.
+#[test]
+fn cycle_limit_fires_identically_under_faults() {
+    let graph = graph();
+    let kernel = SsspKernel::new(0);
+    let plan: FaultPlan = "stall:tile=3,start=50,end=400;link:tile=5,port=east,start=100,end=800"
+        .parse()
+        .unwrap();
+    let faulted_sim = |max_cycles: u64| {
+        let config = SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(1 << 20)
+            .vertex_placement(VertexPlacement::Interleaved)
+            .max_cycles(max_cycles)
+            .watchdog_cycles(u64::MAX / 4)
+            .faults(plan.clone())
+            .build()
+            .unwrap();
+        Simulation::new(config, &graph).unwrap()
+    };
+    let completion = faulted_sim(u64::MAX / 2)
+        .run(&kernel)
+        .expect("faulted run still completes")
+        .cycles;
+    for limit in [completion - 1, completion, completion + 1, completion / 2] {
+        assert_error_parity(
+            &faulted_sim(limit),
+            &kernel,
+            &format!("faulted/max_cycles={limit}"),
+        );
+    }
+}
+
+/// The watchdog boundary under a non-empty fault plan, including the nasty
+/// corner the issue calls out: a fault transition landing *exactly on* the
+/// watchdog deadline, where the skip engines' fault-edge clamp and the
+/// deadline clamp pick the same stop cycle.  Every engine must report the
+/// identical `Deadlock` payload — `SimError` is `PartialEq`, so the
+/// comparison covers the structured diagnostics too.
+#[test]
+fn watchdog_fires_identically_under_faults_even_on_a_transition_cycle() {
+    let graph = RmatConfig::new(7, 4).seed(9).build().unwrap();
+    let build = |plan: FaultPlan, watchdog: u64| {
+        let config = SimConfigBuilder::new(GridConfig::square(2))
+            .scratchpad_bytes(1 << 20)
+            .vertex_placement(VertexPlacement::Interleaved)
+            .max_cycles(1_000_000)
+            .watchdog_cycles(watchdog)
+            .faults(plan)
+            .build()
+            .unwrap();
+        Simulation::new(config, &graph).unwrap()
+    };
+    let base: FaultPlan = "slow:tile=1,factor=3,start=10,end=60;stall:tile=0,start=20,end=45"
+        .parse()
+        .unwrap();
+    for watchdog in [64u64, 65, 1000] {
+        let sim = build(base.clone(), watchdog);
+        let err = sim.run(&StuckKernel).unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "faulted/watchdog={watchdog}: expected Deadlock, got {err:?}"
+        );
+        assert_error_parity(&sim, &StuckKernel, &format!("faulted/watchdog={watchdog}"));
+    }
+    // Observe the deadline under the base plan, then open a window exactly
+    // on it.  A window opening at the deadline cannot affect any earlier
+    // cycle, so the deadline must not move — but the skip engines now land
+    // on it through two coinciding clamps.
+    let watchdog = 64u64;
+    let SimError::Deadlock { cycle: deadline, .. } =
+        build(base.clone(), watchdog).run(&StuckKernel).unwrap_err()
+    else {
+        panic!("wedged kernel must deadlock");
+    };
+    let mut plan = base;
+    plan.events.push(FaultEvent::RouterStall {
+        tile: 1,
+        start: deadline,
+        end: deadline + 50,
+    });
+    let sim = build(plan, watchdog);
+    let SimError::Deadlock { cycle, .. } = sim.run(&StuckKernel).unwrap_err() else {
+        panic!("wedged kernel must deadlock under the extended plan");
+    };
+    assert_eq!(
+        cycle, deadline,
+        "a window opening at the deadline must not move the deadline"
+    );
+    assert_error_parity(&sim, &StuckKernel, "faulted/transition-on-deadline");
 }
 
 /// Property-style sweep of both limits near the event horizon: a grid of

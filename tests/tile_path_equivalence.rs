@@ -28,7 +28,7 @@ use dalorex::graph::generators::rmat::RmatConfig;
 use dalorex::graph::CsrGraph;
 use dalorex::noc::Topology;
 use dalorex::sim::config::{BarrierMode, Engine, GridConfig, SchedulingPolicy, SimConfigBuilder};
-use dalorex::sim::{Simulation, VertexPlacement};
+use dalorex::sim::{FaultPlan, Simulation, VertexPlacement};
 
 fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> u64 {
     let kernel = workload.kernel();
@@ -58,6 +58,10 @@ fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> 
             outcome.total_energy_j(),
             reference.total_energy_j(),
             "{label}/{engine}: energy diverged"
+        );
+        assert_eq!(
+            outcome.fault, reference.fault,
+            "{label}/{engine}: fault reports diverged"
         );
     }
     reference.cycles
@@ -201,6 +205,100 @@ fn lazy_tile_allocation_is_schedule_invisible() {
             assert_eq!(lazy.memory.csr_bytes, eager.memory.csr_bytes);
             assert_eq!(lazy.memory.noc_buffer_bytes, eager.memory.noc_buffer_bytes);
         }
+    }
+}
+
+/// The fault-injection half of the equivalence square: all five engines
+/// (plus the explicit parallel pool sizes) must stay bit-identical under
+/// non-empty fault plans — including the per-event `FaultReport` — and a
+/// faulted run must never finish earlier than its fault-free twin (faults
+/// delay, never drop).
+#[test]
+fn engines_agree_under_fault_plans() {
+    let graph = graph();
+    // A 2-wide endpoint budget so the `throttle` events (cap 1) actually
+    // bite; the fault-free twin uses the same budget so the cycle
+    // comparison below is apples-to-apples.
+    let base = || {
+        SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(1 << 20)
+            .endpoint_drains_per_cycle(2)
+    };
+    let fault_free = {
+        let sim = Simulation::new(base().build().unwrap(), &graph).unwrap();
+        assert_paths_identical(&sim, Workload::Sssp { root: 0 }, "fault-free-twin")
+    };
+    let scenarios: &[(&str, &str)] = &[
+        (
+            "link-outage",
+            "link:tile=5,port=east,start=200,end=900;link:tile=6,start=400,end=700",
+        ),
+        (
+            "router-stall",
+            "stall:tile=5,start=100,end=600;stall:tile=10,start=300,end=800",
+        ),
+        (
+            "tile-side",
+            "slow:tile=3,factor=4,start=0,end=4000;throttle:tile=9,budget=1,start=50,end=2500",
+        ),
+        ("mixed-random", "random:seed=2026,count=12,horizon=4000"),
+    ];
+    for &(label, spec) in scenarios {
+        let plan: FaultPlan = spec.parse().unwrap();
+        let sim = Simulation::new(base().faults(plan).build().unwrap(), &graph).unwrap();
+        let faulted = assert_paths_identical(&sim, Workload::Sssp { root: 0 }, label);
+        assert!(
+            faulted >= fault_free,
+            "{label}: the faulted run finished in {faulted} cycles, before its \
+             fault-free twin's {fault_free}"
+        );
+        let kernel = Workload::Sssp { root: 0 }.kernel();
+        let outcome = sim.run(kernel.as_ref()).unwrap();
+        assert!(
+            !outcome.fault.is_empty(),
+            "{label}: a non-empty plan must produce fault-report entries"
+        );
+    }
+}
+
+/// An armed plan whose windows all open after quiescence must be
+/// observation-identical to the empty plan — cycles, outputs, statistics
+/// and energy unmoved, with the only trace an all-zero fault report.  This
+/// pins the claim that fault support costs nothing on the hot path beyond
+/// a branch: the fault machinery being *armed* is not itself a
+/// perturbation.
+#[test]
+fn armed_but_never_firing_plan_is_schedule_invisible() {
+    let graph = graph();
+    let base = SimConfigBuilder::new(GridConfig::square(4)).scratchpad_bytes(1 << 20);
+    let empty_sim = Simulation::new(base.clone().build().unwrap(), &graph).unwrap();
+    // Far beyond any 4x4 SSSP horizon (the golden run quiesces near 10^4).
+    let plan: FaultPlan = "link:tile=1,start=40000000,end=50000000;\
+                           stall:tile=2,start=40000000,end=50000000;\
+                           slow:tile=3,factor=8,start=40000000,end=50000000;\
+                           throttle:tile=4,budget=1,start=40000000,end=50000000"
+        .parse()
+        .unwrap();
+    let armed_sim = Simulation::new(base.faults(plan).build().unwrap(), &graph).unwrap();
+    let kernel = Workload::Sssp { root: 0 }.kernel();
+    for engine in Engine::ALL {
+        let empty = empty_sim.run_with_engine(kernel.as_ref(), engine).unwrap();
+        let armed = armed_sim.run_with_engine(kernel.as_ref(), engine).unwrap();
+        let label = format!("armed-idle/{engine}");
+        assert_eq!(empty.cycles, armed.cycles, "{label}: cycles diverged");
+        assert_eq!(empty.output, armed.output, "{label}: outputs diverged");
+        assert_eq!(empty.stats, armed.stats, "{label}: statistics diverged");
+        assert_eq!(
+            empty.total_energy_j(),
+            armed.total_energy_j(),
+            "{label}: energy diverged"
+        );
+        assert!(empty.fault.is_empty(), "{label}: empty plan must report nothing");
+        assert_eq!(armed.fault.entries.len(), 4, "{label}: one entry per event");
+        assert!(
+            armed.fault.is_zero_impact(),
+            "{label}: windows after quiescence must have zero impact"
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 //! * the [`Strategy`] trait with [`Strategy::prop_map`] and
 //!   [`Strategy::prop_flat_map`] combinators,
 //! * integer range strategies (`0..n`, `1u32..64`, ...), tuple strategies up
-//!   to arity four, [`collection::vec`] and [`bool::ANY`],
+//!   to arity six, [`collection::vec`] and [`bool::ANY`],
 //! * the [`proptest!`] macro with a `#![proptest_config(...)]` header, and
 //!   the `prop_assert!` / `prop_assert_eq!` assertion macros.
 //!
@@ -191,7 +191,14 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
 
 /// Boolean strategies.
 pub mod bool {
