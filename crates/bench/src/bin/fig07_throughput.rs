@@ -64,7 +64,8 @@ fn main() {
                 let options = RunOptions::new(side, scratchpad)
                     .with_endpoint_drains(drains)
                     .with_engine(cli.engine)
-                    .with_faults(cli.faults.clone());
+                    .with_faults(cli.faults.clone())
+                    .with_verify(cli.verify);
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {
@@ -146,7 +147,8 @@ fn paper_scale_rung(
     let scratchpad = datasets::fitting_scratchpad_bytes(&graph, tiles);
     let options = RunOptions::new(max_side, scratchpad)
         .with_engine(cli.engine)
-        .with_faults(cli.faults.clone());
+        .with_faults(cli.faults.clone())
+                    .with_verify(cli.verify);
     let outcome = match run_dalorex(&graph, workload, options) {
         Ok(outcome) => outcome,
         Err(err) => {

@@ -61,7 +61,8 @@ fn main() {
                 let options = RunOptions::new(side, scratchpad)
                     .with_endpoint_drains(drains)
                     .with_engine(cli.engine)
-                    .with_faults(cli.faults.clone());
+                    .with_faults(cli.faults.clone())
+                    .with_verify(cli.verify);
                 let outcome = match run_dalorex(&graph, workload, options) {
                     Ok(outcome) => outcome,
                     Err(err) => {

@@ -62,6 +62,7 @@ fn main() {
                 .barrier_mode(BarrierMode::Barrierless)
                 .endpoint_drains_per_cycle(drains)
                 .engine(cli.engine)
+                .verify(cli.verify)
                 .build()
                 .expect("valid configuration");
             let sim = Simulation::new(config, &graph).expect("dataset fits");

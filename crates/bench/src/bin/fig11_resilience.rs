@@ -72,6 +72,7 @@ fn main() {
         RunOptions::new(side, scratchpad)
             .with_engine(cli.engine)
             .with_faults(plan)
+            .with_verify(cli.verify)
     };
 
     let baseline = match run_dalorex(&graph, workload, options(cli.faults.clone())) {

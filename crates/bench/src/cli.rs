@@ -29,6 +29,12 @@
 //!   like `DALOREX_ENGINE` does for `--engine`, and the flag wins.  All
 //!   five engines apply a plan bit-identically, so `--engine` A/B timing
 //!   stays valid under faults.
+//! * `--verify <off|warn|deny>` — how the static task-graph verifier
+//!   ([`dalorex_sim::verify`]) treats its findings when each run is built:
+//!   `warn` (the default) prints them, `deny` makes any error-severity
+//!   finding fatal before the first simulated cycle, `off` skips the
+//!   analysis passes.  The `DALOREX_VERIFY` environment variable supplies
+//!   a default exactly like `DALOREX_ENGINE`, and the flag wins.
 //!
 //! Parse once with [`FigureCli::parse`] at the top of `main`.
 //!
@@ -39,13 +45,14 @@
 //! the wrong configuration (or timing the wrong engine under an A/B
 //! label) is exactly the mistake these flags exist to avoid.  This covers
 //! `--engine` (unknown name, missing or empty value, bad env default),
-//! `--faults` (unreadable plan file, malformed spec, bad env default) and
+//! `--faults` (unreadable plan file, malformed spec, bad env default),
+//! `--verify` (unknown mode, missing value, bad env default) and
 //! `--drains` (missing value or no valid entry).  Individually invalid
 //! `--drains` entries alongside valid ones are dropped with a warning so a
 //! long sweep survives one typo, but the run never proceeds on an empty
 //! sweep.
 
-use dalorex_sim::{Engine, FaultPlan};
+use dalorex_sim::{Engine, FaultPlan, VerifyMode};
 use std::time::Instant;
 
 /// Default endpoint budget (messages drained/injected per tile per cycle)
@@ -72,6 +79,10 @@ pub struct FigureCli {
     /// `--faults <plan-file|spec>` (or the `DALOREX_FAULTS` default): the
     /// fault plan every run is driven under (default empty — no faults).
     pub faults: FaultPlan,
+    /// `--verify <off|warn|deny>` (or the `DALOREX_VERIFY` default): how
+    /// strictly the static task-graph verifier treats its findings when
+    /// each run is built (default [`VerifyMode::Warn`]).
+    pub verify: VerifyMode,
     drains: Option<Vec<usize>>,
     started: Instant,
 }
@@ -100,7 +111,13 @@ impl FigureCli {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let env_engine = std::env::var("DALOREX_ENGINE").ok();
         let env_faults = std::env::var("DALOREX_FAULTS").ok();
-        match Self::parse_from(&args, env_engine.as_deref(), env_faults.as_deref()) {
+        let env_verify = std::env::var("DALOREX_VERIFY").ok();
+        match Self::parse_from(
+            &args,
+            env_engine.as_deref(),
+            env_faults.as_deref(),
+            env_verify.as_deref(),
+        ) {
             Ok(cli) => cli,
             Err(message) => {
                 eprintln!("{message}");
@@ -111,12 +128,13 @@ impl FigureCli {
 
     /// The testable core of [`FigureCli::parse`]: pure over an argument
     /// slice (without the program name) and optional `DALOREX_ENGINE` /
-    /// `DALOREX_FAULTS` values, returning the diagnostic instead of
-    /// exiting.
+    /// `DALOREX_FAULTS` / `DALOREX_VERIFY` values, returning the
+    /// diagnostic instead of exiting.
     fn parse_from(
         args: &[String],
         env_engine: Option<&str>,
         env_faults: Option<&str>,
+        env_verify: Option<&str>,
     ) -> Result<Self, String> {
         let engine = match lookup_flag(args, "engine") {
             FlagLookup::Value(name) => name.parse::<Engine>()?,
@@ -139,6 +157,16 @@ impl FigureCli {
                 None => FaultPlan::empty(),
             },
         };
+        let verify = match lookup_flag(args, "verify") {
+            FlagLookup::Value(mode) => mode.parse::<VerifyMode>()?,
+            FlagLookup::ValueMissing => return Err(verify_value_missing()),
+            FlagLookup::Absent => match env_verify {
+                Some(mode) => mode
+                    .parse()
+                    .map_err(|err: String| format!("DALOREX_VERIFY: {err}"))?,
+                None => VerifyMode::default(),
+            },
+        };
         Ok(FigureCli {
             csv: args.iter().any(|a| a == "--csv"),
             json: match lookup_flag(args, "json") {
@@ -149,6 +177,7 @@ impl FigureCli {
             max_side: max_side_flag(args),
             engine,
             faults,
+            verify,
             drains: drains_flag(args)?,
             started: Instant::now(),
         })
@@ -214,6 +243,11 @@ impl FigureCli {
 /// `--engine=` share it).
 fn engine_value_missing() -> String {
     "--engine requires a value (reference, ticked, skip, calendar or parallel[:N])".to_string()
+}
+
+/// The one `--verify`-without-a-value diagnostic.
+fn verify_value_missing() -> String {
+    "--verify requires a value (off, warn or deny)".to_string()
 }
 
 /// The one `--faults`-without-a-value diagnostic.
@@ -357,13 +391,14 @@ mod tests {
             &args(&["--engine", "calendar", "--drains", "1,2,4", "--csv"]),
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(cli.csv);
         assert_eq!(cli.engine, Engine::Calendar);
         assert_eq!(cli.drains(), vec![1, 2, 4]);
 
-        let cli = FigureCli::parse_from(&args(&["--engine=parallel:3"]), None, None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--engine=parallel:3"]), None, None, None).unwrap();
         assert_eq!(cli.engine, Engine::Parallel { workers: 3 });
     }
 
@@ -379,47 +414,83 @@ mod tests {
             args(&["--engine", "--csv"]),
             args(&["--engine="]),
         ] {
-            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
+            let err = FigureCli::parse_from(&case, None, None, None).unwrap_err();
             assert_eq!(err, expected, "case: {case:?}");
         }
     }
 
     #[test]
     fn unknown_engine_is_fatal() {
-        let err = FigureCli::parse_from(&args(&["--engine", "warp"]), None, None).unwrap_err();
+        let err = FigureCli::parse_from(&args(&["--engine", "warp"]), None, None, None).unwrap_err();
         assert!(err.contains("warp"), "diagnostic names the bad value: {err}");
-        let err = FigureCli::parse_from(&args(&["--engine", "parallel:zero"]), None, None).unwrap_err();
+        let err = FigureCli::parse_from(&args(&["--engine", "parallel:zero"]), None, None, None).unwrap_err();
         assert!(err.contains("zero"), "diagnostic names the bad count: {err}");
     }
 
     #[test]
     fn env_engine_is_the_default_and_the_flag_wins() {
-        let cli = FigureCli::parse_from(&[], Some("calendar"), None).unwrap();
+        let cli = FigureCli::parse_from(&[], Some("calendar"), None, None).unwrap();
         assert_eq!(cli.engine, Engine::Calendar);
         let cli =
-            FigureCli::parse_from(&args(&["--engine", "ticked"]), Some("calendar"), None).unwrap();
+            FigureCli::parse_from(&args(&["--engine", "ticked"]), Some("calendar"), None, None).unwrap();
         assert_eq!(cli.engine, Engine::Ticked);
         // A broken env default must not silently fall back — unless the
         // flag overrides it, in which case the env value is never parsed.
-        let err = FigureCli::parse_from(&[], Some("warp"), None).unwrap_err();
+        let err = FigureCli::parse_from(&[], Some("warp"), None, None).unwrap_err();
         assert!(err.starts_with("DALOREX_ENGINE:"), "{err}");
-        let cli = FigureCli::parse_from(&args(&["--engine", "skip"]), Some("warp"), None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--engine", "skip"]), Some("warp"), None, None).unwrap();
         assert_eq!(cli.engine, Engine::Skip);
     }
 
     #[test]
+    fn verify_flag_parses_and_defaults_to_warn() {
+        let cli = FigureCli::parse_from(&[], None, None, None).unwrap();
+        assert_eq!(cli.verify, VerifyMode::Warn);
+        let cli = FigureCli::parse_from(&args(&["--verify", "deny"]), None, None, None).unwrap();
+        assert_eq!(cli.verify, VerifyMode::Deny);
+        let cli = FigureCli::parse_from(&args(&["--verify=off"]), None, None, None).unwrap();
+        assert_eq!(cli.verify, VerifyMode::Off);
+    }
+
+    #[test]
+    fn verify_errors_are_fatal_and_the_flag_wins_over_the_env() {
+        let expected = verify_value_missing();
+        for case in [
+            args(&["--verify"]),
+            args(&["--verify", "--csv"]),
+            args(&["--verify="]),
+        ] {
+            let err = FigureCli::parse_from(&case, None, None, None).unwrap_err();
+            assert_eq!(err, expected, "case: {case:?}");
+        }
+        let err =
+            FigureCli::parse_from(&args(&["--verify", "strict"]), None, None, None).unwrap_err();
+        assert!(err.contains("strict"), "diagnostic names the bad value: {err}");
+
+        // Env default, env error prefix, and flag-wins.
+        let cli = FigureCli::parse_from(&[], None, None, Some("deny")).unwrap();
+        assert_eq!(cli.verify, VerifyMode::Deny);
+        let err = FigureCli::parse_from(&[], None, None, Some("strict")).unwrap_err();
+        assert!(err.starts_with("DALOREX_VERIFY:"), "{err}");
+        let cli =
+            FigureCli::parse_from(&args(&["--verify", "warn"]), None, None, Some("strict")).unwrap();
+        assert_eq!(cli.verify, VerifyMode::Warn);
+    }
+
+    #[test]
     fn faults_flag_parses_inline_specs_and_defaults_to_empty() {
-        let cli = FigureCli::parse_from(&[], None, None).unwrap();
+        let cli = FigureCli::parse_from(&[], None, None, None).unwrap();
         assert!(cli.faults.is_empty());
         let cli = FigureCli::parse_from(
             &args(&["--faults", "stall:tile=3,start=50,end=400;link:tile=1,start=10,end=20"]),
+            None,
             None,
             None,
         )
         .unwrap();
         assert_eq!(cli.faults.events.len(), 2);
         let cli =
-            FigureCli::parse_from(&args(&["--faults=random:seed=7,count=4,horizon=2000"]), None, None)
+            FigureCli::parse_from(&args(&["--faults=random:seed=7,count=4,horizon=2000"]), None, None, None)
                 .unwrap();
         assert!(cli.faults.random.is_some());
     }
@@ -433,12 +504,12 @@ mod tests {
         )
         .unwrap();
         let path = path.to_str().unwrap().to_string();
-        let cli = FigureCli::parse_from(&args(&["--faults", &path]), None, None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--faults", &path]), None, None, None).unwrap();
         assert_eq!(cli.faults.events.len(), 2);
         // A readable file full of garbage is fatal — it must not silently
         // fall back to parsing the file *name* as a spec.
         std::fs::write(&path, "not a fault spec").unwrap();
-        let err = FigureCli::parse_from(&args(&["--faults", &path]), None, None).unwrap_err();
+        let err = FigureCli::parse_from(&args(&["--faults", &path]), None, None, None).unwrap_err();
         assert!(err.contains("fault plan file"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
@@ -447,22 +518,23 @@ mod tests {
     fn faults_errors_are_fatal_and_the_flag_wins_over_the_env() {
         let expected = faults_value_missing();
         for case in [args(&["--faults"]), args(&["--faults", "--csv"]), args(&["--faults="])] {
-            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
+            let err = FigureCli::parse_from(&case, None, None, None).unwrap_err();
             assert_eq!(err, expected, "case: {case:?}");
         }
         let err =
-            FigureCli::parse_from(&args(&["--faults", "warp:tile=1"]), None, None).unwrap_err();
+            FigureCli::parse_from(&args(&["--faults", "warp:tile=1"]), None, None, None).unwrap_err();
         assert!(err.contains("warp"), "diagnostic names the bad value: {err}");
 
         let cli =
-            FigureCli::parse_from(&[], None, Some("stall:tile=0,start=1,end=2")).unwrap();
+            FigureCli::parse_from(&[], None, Some("stall:tile=0,start=1,end=2"), None).unwrap();
         assert_eq!(cli.faults.events.len(), 1);
-        let err = FigureCli::parse_from(&[], None, Some("warp:tile=1")).unwrap_err();
+        let err = FigureCli::parse_from(&[], None, Some("warp:tile=1"), None).unwrap_err();
         assert!(err.starts_with("DALOREX_FAULTS:"), "{err}");
         let cli = FigureCli::parse_from(
             &args(&["--faults", "link:tile=2,start=5,end=9"]),
             None,
             Some("warp:tile=1"),
+            None,
         )
         .unwrap();
         assert_eq!(cli.faults.events.len(), 1);
@@ -479,14 +551,14 @@ mod tests {
             args(&["--drains"]),
             args(&["--drains", "--csv"]),
         ] {
-            let err = FigureCli::parse_from(&case, None, None).unwrap_err();
+            let err = FigureCli::parse_from(&case, None, None, None).unwrap_err();
             assert!(err.contains("--drains"), "case {case:?}: {err}");
         }
     }
 
     #[test]
     fn partially_invalid_drains_list_keeps_the_valid_entries() {
-        let cli = FigureCli::parse_from(&args(&["--drains", "1,oops,4"]), None, None).unwrap();
+        let cli = FigureCli::parse_from(&args(&["--drains", "1,oops,4"]), None, None, None).unwrap();
         assert_eq!(cli.drains(), vec![1, 4]);
     }
 

@@ -5,7 +5,7 @@ use dalorex_graph::CsrGraph;
 use dalorex_noc::Topology;
 use dalorex_sim::config::{BarrierMode, Engine, GridConfig, SimConfigBuilder};
 use dalorex_sim::engine::SimOutcome;
-use dalorex_sim::{FaultPlan, SimError, Simulation};
+use dalorex_sim::{FaultPlan, SimError, Simulation, VerifyMode};
 
 /// Options for a single Dalorex run used by the figure binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +29,10 @@ pub struct RunOptions {
     /// non-empty plan *does* change the modelled schedule — identically on
     /// every engine.
     pub faults: FaultPlan,
+    /// How the static task-graph verifier treats its findings when the
+    /// run is built (default [`VerifyMode::Warn`]; the figure binaries
+    /// expose it as `--verify` / `DALOREX_VERIFY`).
+    pub verify: VerifyMode,
 }
 
 impl RunOptions {
@@ -42,6 +46,7 @@ impl RunOptions {
             endpoint_drains: 1,
             engine: Engine::default(),
             faults: FaultPlan::empty(),
+            verify: VerifyMode::default(),
         }
     }
 
@@ -68,6 +73,12 @@ impl RunOptions {
         self.faults = faults;
         self
     }
+
+    /// Overrides the static-verifier mode.
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
 }
 
 /// Runs one workload on the full-Dalorex configuration (interleaved
@@ -90,6 +101,7 @@ pub fn run_dalorex(
         .endpoint_drains_per_cycle(options.endpoint_drains)
         .engine(options.engine)
         .faults(options.faults.clone())
+        .verify(options.verify)
         .barrier_mode(if workload.requires_barrier() {
             BarrierMode::EpochBarrier
         } else {
@@ -196,6 +208,21 @@ mod tests {
         assert_eq!(faulted.output, clean.output);
         assert!(!faulted.fault.is_empty());
         assert!(clean.fault.is_empty());
+    }
+
+    #[test]
+    fn verify_deny_passes_on_shipped_workloads() {
+        use dalorex_sim::VerifyMode;
+        let graph = RmatConfig::new(7, 5).seed(3).build().unwrap();
+        // Zero false positives: the shipped kernels must run under the
+        // strictest verifier mode.
+        let outcome = run_dalorex(
+            &graph,
+            Workload::Bfs { root: 0 },
+            RunOptions::new(2, 1 << 20).with_verify(VerifyMode::Deny),
+        )
+        .unwrap();
+        assert!(outcome.cycles > 0);
     }
 
     #[test]

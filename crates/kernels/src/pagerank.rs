@@ -184,9 +184,12 @@ impl Kernel for PageRankKernel {
 
     fn tasks(&self) -> Vec<TaskDecl> {
         vec![
-            TaskDecl::new("epoch", 8, TaskParams::SelfManaged),
+            TaskDecl::new("epoch", 8, TaskParams::SelfManaged)
+                .sends(CQ1_TO_EDGES)
+                .entry(),
             TaskDecl::new("expand", 192, TaskParams::AutoPop(3))
-                .requires_cq_space(CQ2_TO_VERTICES, 2 * OQT2 as usize),
+                .requires_cq_space(CQ2_TO_VERTICES, 2 * OQT2 as usize)
+                .sends(CQ2_TO_VERTICES),
             TaskDecl::new("accumulate", 2048, TaskParams::AutoPop(2)),
         ]
     }

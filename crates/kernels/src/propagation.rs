@@ -224,21 +224,29 @@ impl Kernel for PropagationKernel {
 
     fn tasks(&self) -> Vec<TaskDecl> {
         vec![
-            TaskDecl::new("T1-explore", 64, TaskParams::SelfManaged),
+            TaskDecl::new("T1-explore", 64, TaskParams::SelfManaged)
+                .sends(CQ1_TO_EDGES)
+                .entry(),
             TaskDecl::new("T2-expand", 192, TaskParams::AutoPop(3))
-                .requires_cq_space(CQ2_TO_VERTICES, 2 * OQT2 as usize),
-            TaskDecl::new("T3-update", 2048, TaskParams::AutoPop(2)),
+                .requires_cq_space(CQ2_TO_VERTICES, 2 * OQT2 as usize)
+                .sends(CQ2_TO_VERTICES),
+            TaskDecl::new("T3-update", 2048, TaskParams::AutoPop(2))
+                .pushes_local(T4_FRONTIER),
             // T4's output queue is T1's IQ: without the dispatch-time space
             // guarantee, occupancy-priority scheduling can pin a large-IQ4
             // tile on T4 forever while IQ1 sits full (each invocation finds
             // no room, pops nothing, and outranks T1 in the tie-break) — the
-            // single-tile scaling_study livelock.
+            // single-tile scaling_study livelock.  The verifier rediscovers
+            // exactly this hazard (V031) if the gate below is removed; see
+            // `tests/verifier.rs`.
             TaskDecl::with_capacity(
                 "T4-frontier",
                 QueueCapacity::VertexBlocks,
                 TaskParams::SelfManaged,
             )
-            .requires_iq_space(T1_EXPLORE, 1),
+            .requires_iq_space(T1_EXPLORE, 1)
+            .pushes_local(T1_EXPLORE)
+            .entry(),
         ]
     }
 

@@ -184,13 +184,27 @@ impl Kernel for SpmvKernel {
 
     fn tasks(&self) -> Vec<TaskDecl> {
         vec![
-            TaskDecl::new("rows", 8, TaskParams::SelfManaged),
+            TaskDecl::new("rows", 8, TaskParams::SelfManaged)
+                .sends(CQ1_TO_EDGES)
+                .entry(),
             TaskDecl::new("nonzeros", 192, TaskParams::AutoPop(3))
-                .requires_cq_space(CQ2_TO_COLUMNS, 3 * OQT2 as usize),
+                .requires_cq_space(CQ2_TO_COLUMNS, 3 * OQT2 as usize)
+                .sends(CQ2_TO_COLUMNS),
             TaskDecl::new("multiply", 1024, TaskParams::AutoPop(3))
-                .requires_cq_space(CQ3_TO_ROWS, 2),
+                .requires_cq_space(CQ3_TO_ROWS, 2)
+                .sends(CQ3_TO_ROWS),
             TaskDecl::new("accumulate", 2048, TaskParams::AutoPop(2)),
         ]
+    }
+
+    // The verifier flags two geometry smells that are deliberate here and
+    // must stay: CQ2 (256 words, 3-flit messages) and multiply's IQ (1024
+    // words, 3-word invocations) each strand one word (V041/V042).
+    // "Fixing" either capacity would change the modelled schedule, and the
+    // absolute SPMV cycle counts are golden-pinned by
+    // `tests/drain_regression.rs`.
+    fn verify_suppressions(&self) -> Vec<&'static str> {
+        vec!["V041", "V042"]
     }
 
     fn channels(&self) -> Vec<ChannelDecl> {

@@ -11,7 +11,12 @@
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::placement::VertexPlacement;
+use crate::verify::VerifyMode;
 use dalorex_noc::{GridShape, Topology};
+
+/// Paper-default ejection (local delivery) buffer capacity per channel, in
+/// flits — shared with [`crate::verify::VerifyContext::paper_default`].
+pub const DEFAULT_EJECTION_FLITS: usize = 64;
 
 /// Tile-grid dimensions for a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -229,6 +234,11 @@ pub struct SimConfig {
     /// engine (default empty = schedule-invisible).  See
     /// [`crate::fault::FaultPlan`] for the model and spec format.
     pub faults: FaultPlan,
+    /// How strictly the static task-graph verifier ([`crate::verify`])
+    /// treats its findings when the simulation is built (default
+    /// [`VerifyMode::Warn`]).  Structural defects that would abort the run
+    /// anyway are fatal under every mode.
+    pub verify: VerifyMode,
 }
 
 impl SimConfig {
@@ -280,7 +290,7 @@ impl SimConfigBuilder {
                 barrier_mode: BarrierMode::Barrierless,
                 scratchpad_bytes: 4 * 1024 * 1024,
                 noc_buffer_flits: 16,
-                noc_ejection_flits: 64,
+                noc_ejection_flits: DEFAULT_EJECTION_FLITS,
                 endpoint_drains_per_cycle: 1,
                 max_cycles: 200_000_000,
                 watchdog_cycles: 2_000_000,
@@ -289,6 +299,7 @@ impl SimConfigBuilder {
                 engine: Engine::default(),
                 eager_tile_init: false,
                 faults: FaultPlan::default(),
+                verify: VerifyMode::default(),
             },
         }
     }
@@ -386,6 +397,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the static-verifier mode (default [`VerifyMode::Warn`]):
+    /// `Off` skips the analysis passes, `Warn` prints their findings,
+    /// `Deny` fails [`crate::Simulation::new`] with
+    /// [`SimError::Verification`] on any error-severity finding.
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.config.verify = mode;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -441,6 +461,16 @@ mod tests {
         assert_eq!(config.barrier_mode, BarrierMode::Barrierless);
         assert_eq!(config.scratchpad_bytes, 4 * 1024 * 1024);
         assert_eq!(config.endpoint_drains_per_cycle, 1);
+        assert_eq!(config.verify, VerifyMode::Warn);
+    }
+
+    #[test]
+    fn verify_mode_override_applies() {
+        let config = SimConfigBuilder::new(GridConfig::square(4))
+            .verify(VerifyMode::Deny)
+            .build()
+            .unwrap();
+        assert_eq!(config.verify, VerifyMode::Deny);
     }
 
     #[test]

@@ -377,9 +377,11 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] for inconsistent kernel
-    /// declarations, [`SimError::CycleLimitExceeded`] or
-    /// [`SimError::Deadlock`] if the run does not terminate, and
+    /// Returns [`SimError::Verification`] for inconsistent kernel
+    /// declarations (structurally broken graphs under any
+    /// [`crate::verify::VerifyMode`]; hazardous ones under
+    /// [`crate::verify::VerifyMode::Deny`]), [`SimError::CycleLimitExceeded`]
+    /// or [`SimError::Deadlock`] if the run does not terminate, and
     /// [`SimError::UnknownKernelResource`] if the kernel's declared output
     /// arrays do not exist.
     pub fn run(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
@@ -433,6 +435,44 @@ impl Simulation {
         self.run_with(kernel, Engine::Reference)
     }
 
+    /// Runs the static task-graph verifier ([`crate::verify`]) over the
+    /// kernel and applies the configured [`crate::verify::VerifyMode`]:
+    /// structural defects (the graph cannot run at all) are fatal under
+    /// every mode; analysis findings are dropped under `Off`, printed to
+    /// stderr under `Warn` (the default), and fatal under `Deny`.
+    fn verify_kernel(&self, kernel: &dyn Kernel) -> Result<(), SimError> {
+        use crate::verify::{verify_kernel, VerifyContext, VerifyMode};
+        let ctx = VerifyContext {
+            ejection_flits: self.config.noc_ejection_flits,
+            scheduling: self.config.scheduling,
+        };
+        let report = verify_kernel(kernel, &ctx);
+        if report.diagnostics.iter().any(|d| d.structural) {
+            return Err(SimError::Verification {
+                report: Box::new(report),
+            });
+        }
+        match self.config.verify {
+            VerifyMode::Off => {}
+            VerifyMode::Warn => {
+                for diag in &report.diagnostics {
+                    eprintln!("dalorex-verify: kernel {:?}: {diag}", report.kernel);
+                }
+            }
+            VerifyMode::Deny => {
+                for diag in report.warnings() {
+                    eprintln!("dalorex-verify: kernel {:?}: {diag}", report.kernel);
+                }
+                if report.has_errors() {
+                    return Err(SimError::Verification {
+                        report: Box::new(report),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Validates the kernel's declarations and builds the initial
     /// [`EngineState`] every engine starts its cycle loop from.
     fn prepare(
@@ -443,7 +483,7 @@ impl Simulation {
         let tasks = kernel.tasks();
         let channels = kernel.channels();
         let arrays = kernel.arrays();
-        validate_kernel(&tasks, &channels, self.config.noc_ejection_flits)?;
+        self.verify_kernel(kernel)?;
 
         let num_tiles = self.placement.num_tiles();
         // One shared declaration record; every tile starts hollow (no
@@ -1432,100 +1472,6 @@ impl Simulation {
     }
 }
 
-fn validate_kernel(
-    tasks: &[TaskDecl],
-    channels: &[ChannelDecl],
-    ejection_flits: usize,
-) -> Result<(), SimError> {
-    let reject = |reason: String| -> Result<(), SimError> {
-        Err(SimError::InvalidConfig { reason })
-    };
-    if tasks.is_empty() {
-        return reject("a kernel must declare at least one task".to_string());
-    }
-    for (i, task) in tasks.iter().enumerate() {
-        if task.iq_capacity == crate::kernel::QueueCapacity::Words(0) {
-            return reject(format!("task {i} ({}) declares a zero-sized IQ", task.name));
-        }
-        if let TaskParams::AutoPop(0) = task.params {
-            return reject(format!(
-                "task {i} ({}) auto-pops zero parameters",
-                task.name
-            ));
-        }
-        for &(channel, words) in &task.cq_space_required {
-            if channel >= channels.len() {
-                return reject(format!(
-                    "task {i} ({}) requires space on undeclared channel {channel}",
-                    task.name
-                ));
-            }
-            if words > channels[channel].cq_capacity_words {
-                return reject(format!(
-                    "task {i} ({}) requires more CQ space than channel {channel} has",
-                    task.name
-                ));
-            }
-        }
-        for &(watched, words) in &task.iq_space_required {
-            if watched >= tasks.len() {
-                return reject(format!(
-                    "task {i} ({}) requires IQ space on undeclared task {watched}",
-                    task.name
-                ));
-            }
-            if let crate::kernel::QueueCapacity::Words(capacity) = tasks[watched].iq_capacity {
-                if words > capacity {
-                    return reject(format!(
-                        "task {i} ({}) requires more IQ space than task {watched}'s IQ has",
-                        task.name
-                    ));
-                }
-            }
-        }
-    }
-    for (i, channel) in channels.iter().enumerate() {
-        if channel.dest_task >= tasks.len() {
-            return reject(format!(
-                "channel {i} ({}) targets undeclared task {}",
-                channel.name, channel.dest_task
-            ));
-        }
-        if channel.flits_per_message == 0 {
-            return reject(format!("channel {i} ({}) has zero-flit messages", channel.name));
-        }
-        if channel.flits_per_message > ejection_flits {
-            return reject(format!(
-                "channel {i} ({}) messages do not fit the ejection buffer",
-                channel.name
-            ));
-        }
-        if channel.flits_per_message > dalorex_noc::MAX_FLITS {
-            return reject(format!(
-                "channel {i} ({}) messages exceed the network's inline payload \
-                 capacity of {} flits",
-                channel.name,
-                dalorex_noc::MAX_FLITS
-            ));
-        }
-        if channel.cq_capacity_words < channel.flits_per_message {
-            return reject(format!(
-                "channel {i} ({}) CQ cannot hold one message",
-                channel.name
-            ));
-        }
-        if let crate::kernel::QueueCapacity::Words(dest_iq) = tasks[channel.dest_task].iq_capacity {
-            if dest_iq < channel.flits_per_message {
-                return reject(format!(
-                    "channel {i} ({}) messages do not fit task {}'s IQ",
-                    channel.name, channel.dest_task
-                ));
-            }
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1772,7 +1718,14 @@ mod tests {
         let graph = tiny_graph();
         let sim = Simulation::new(tiny_config(), &graph).unwrap();
         let err = sim.run(&BadChannelKernel).unwrap_err();
-        assert!(matches!(err, SimError::InvalidConfig { .. }));
+        // Structural verifier findings are fatal under every VerifyMode,
+        // carrying the stable diagnostic code (dangling dest_task = V008).
+        match err {
+            SimError::Verification { report } => {
+                assert!(report.has_code("V008"), "{report}");
+            }
+            other => panic!("expected a verification error, got {other}"),
+        }
     }
 
     // A kernel that keeps reporting Continue without scheduling any work

@@ -111,6 +111,16 @@ pub enum SimError {
         /// What was requested.
         resource: String,
     },
+    /// The static task-graph verifier ([`crate::verify`]) found
+    /// error-severity defects in the kernel declarations: structural
+    /// breakage under any [`crate::verify::VerifyMode`], or analysis
+    /// findings (deadlockable capacities, livelockable priorities) under
+    /// [`crate::verify::VerifyMode::Deny`].
+    Verification {
+        /// The full report, every diagnostic included.  Boxed to keep
+        /// `SimError` small on the `Ok` path.
+        report: Box<crate::verify::VerifyReport>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -140,6 +150,9 @@ impl fmt::Display for SimError {
             ),
             SimError::UnknownKernelResource { resource } => {
                 write!(f, "kernel referenced an undeclared resource: {resource}")
+            }
+            SimError::Verification { report } => {
+                write!(f, "static verification failed: {report}")
             }
         }
     }

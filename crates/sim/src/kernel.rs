@@ -71,6 +71,23 @@ pub struct TaskDecl {
     /// schedule can spin it forever against the full queue (the single-tile
     /// T4/T1 livelock).
     pub iq_space_required: Vec<(usize, usize)>,
+    /// Declared dataflow: channels this task's body writes through
+    /// [`TaskContext::try_send`].  Purely descriptive — the simulator does
+    /// not enforce it — but it is what lets the static verifier
+    /// ([`crate::verify`]) build the producer graph and prove the absence
+    /// of capacity cycles and occupancy-priority livelocks before the first
+    /// simulated cycle.  Kernels that declare no dataflow at all skip those
+    /// analysis passes.
+    pub sends: Vec<usize>,
+    /// Declared dataflow: tasks whose IQ this task's body pushes into
+    /// through [`TaskContext::try_push_local`] (same-tile chaining, e.g.
+    /// T3 → IQ4 and T4 → IQ1).  See [`TaskDecl::sends`].
+    pub local_pushes: Vec<TaskId>,
+    /// Whether the host injects invocations into this task's IQ from
+    /// outside the task graph ([`Kernel::bootstrap`] or
+    /// [`Kernel::on_global_idle`]).  Entry tasks seed the verifier's
+    /// reachability analysis.
+    pub entry: bool,
 }
 
 impl TaskDecl {
@@ -83,6 +100,9 @@ impl TaskDecl {
             params,
             cq_space_required: Vec::new(),
             iq_space_required: Vec::new(),
+            sends: Vec::new(),
+            local_pushes: Vec::new(),
+            entry: false,
         }
     }
 
@@ -99,6 +119,9 @@ impl TaskDecl {
             params,
             cq_space_required: Vec::new(),
             iq_space_required: Vec::new(),
+            sends: Vec::new(),
+            local_pushes: Vec::new(),
+            entry: false,
         }
     }
 
@@ -114,6 +137,27 @@ impl TaskDecl {
     /// this for tasks whose output is a local push into another task's IQ.
     pub fn requires_iq_space(mut self, task: TaskId, words: usize) -> Self {
         self.iq_space_required.push((task, words));
+        self
+    }
+
+    /// Declares that this task's body sends messages on `channel` (see
+    /// [`TaskDecl::sends`]).
+    pub fn sends(mut self, channel: usize) -> Self {
+        self.sends.push(channel);
+        self
+    }
+
+    /// Declares that this task's body pushes invocations into `task`'s IQ
+    /// on the same tile (see [`TaskDecl::local_pushes`]).
+    pub fn pushes_local(mut self, task: TaskId) -> Self {
+        self.local_pushes.push(task);
+        self
+    }
+
+    /// Marks this task as a host entry point: the bootstrap or the
+    /// global-idle hook pushes invocations into its IQ.
+    pub fn entry(mut self) -> Self {
+        self.entry = true;
         self
     }
 }
@@ -271,6 +315,14 @@ pub trait Kernel: Send + Sync {
     /// kernels trigger the next epoch here; barrierless kernels return
     /// [`EpochDecision::Finish`] once nothing remains.
     fn on_global_idle(&self, epoch: usize, ctx: &mut dyn EpochContext) -> EpochDecision;
+
+    /// Diagnostic codes from [`crate::verify`] this kernel deliberately
+    /// suppresses (e.g. `"V041"`).  Use sparingly, with a comment next to
+    /// the override justifying each code: a suppression silences the
+    /// finding for every run of this kernel.
+    fn verify_suppressions(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
 }
 
 /// Context handed to [`Kernel::bootstrap`], scoped to one tile.

@@ -23,6 +23,9 @@
 //! * [`engine`] — the cycle-level execution loop coupling tiles with the
 //!   `dalorex-noc` network, with termination detection, epoch barriers and
 //!   a deadlock watchdog.
+//! * [`verify`] — the static task-graph verifier (`dalorex-verify`): a
+//!   pass pipeline over the declared tasks/channels/gates that rejects
+//!   deadlockable and livelockable graphs before the first simulated cycle.
 //! * [`energy`] / [`area`] — the 7 nm energy, area and power-density models
 //!   behind the paper's energy figures.
 //! * [`stats`] / [`output`] — utilization, throughput and gathered results.
@@ -54,6 +57,7 @@ pub mod queues;
 pub mod stats;
 pub mod tile;
 pub mod tsu;
+pub mod verify;
 
 mod context;
 mod error;
@@ -67,3 +71,4 @@ pub use memory::MemoryReport;
 pub use output::KernelOutput;
 pub use placement::{ArraySpace, Placement, VertexPlacement};
 pub use stats::SimStats;
+pub use verify::{Diagnostic, Severity, VerifyContext, VerifyMode, VerifyReport};
