@@ -10,7 +10,7 @@ use dalorex_kernels::SsspKernel;
 use dalorex_noc::message::Message;
 use dalorex_noc::network::Network;
 use dalorex_noc::topology::{GridShape, Topology};
-use dalorex_noc::NocConfig;
+use dalorex_noc::{NocConfig, RouterScheduler};
 use dalorex_sim::config::{Engine, GridConfig, SimConfigBuilder};
 use dalorex_sim::placement::{ArraySpace, Placement, VertexPlacement};
 use dalorex_sim::queues::WordQueue;
@@ -225,6 +225,51 @@ fn bench_noc_skip_64x64(c: &mut Criterion) {
     });
 }
 
+/// The ISSUE-10 acceptance case: the due-only calendar walk must sustain at
+/// least 1.3x the cycles/sec of the preserved full calendar walk
+/// (`RouterScheduler::CalendarScan`, the pre-change implementation) on the
+/// dense convergecast waves at 128x128 and up, where the per-cycle walk
+/// dominates (measured ~1.5x at 128x128 and ~1.9x on the 256x256 rung in
+/// this container).  The 256x256 rung is the new regime this PR adds:
+/// 65,536 routers, almost all of them active (holding backpressured
+/// flits) for the whole drain, so the full walk's O(active) stamp-compare
+/// pass is the bulk of the cycle budget — it touches ~58x the routers the
+/// due-only walk does.  Both schedulers produce the bit-identical
+/// forwarding schedule (the property and equivalence suites pin that, and
+/// each wave's modelled cycle count is equal by construction), so time per
+/// iteration is inversely proportional to cycles/sec; compare
+/// `sim_<side>_wave_calendar/due_only` against `.../full_walk`.  The wave
+/// itself is the shared [`dalorex_bench::waves::convergecast_wave`], the
+/// exact traffic `perf_snapshot`'s in-binary A/B times.
+fn bench_noc_calendar_walk(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    for (real_side, group_name) in [
+        (64usize, "sim_64x64_wave_calendar"),
+        (128, "sim_128x128_wave_calendar"),
+        (256, "sim_256x256_wave_calendar"),
+    ] {
+        // Under plain `cargo test` the criterion shim smoke-runs each rung
+        // once in the debug profile; the 128x128/256x256 waves take minutes
+        // there, so shrink every group to an 8x8 smoke — the real
+        // measurement only happens under `cargo bench`.  The 256x256 wave
+        // runs ~1 minute per iteration even in release, so its rung takes
+        // one sample instead of three.
+        let side = if bench_mode { real_side } else { 8 };
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(if bench_mode && real_side >= 256 { 1 } else { 3 });
+        for (name, scheduler) in [
+            ("due_only", RouterScheduler::Calendar),
+            ("full_walk", RouterScheduler::CalendarScan),
+        ] {
+            group.bench_function(name, |b| {
+                let mut net = dalorex_bench::waves::convergecast_net(side, scheduler);
+                b.iter(|| black_box(dalorex_bench::waves::convergecast_wave(&mut net, side)))
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The ISSUE-3 acceptance case: end-to-end `Simulation::run` on a
 /// tile-bound 64x64 SSSP sweep (RMAT scale 14, degree 8 — a few vertices
 /// per tile, so the per-cycle TSU path, not the kernel bodies, dominates).
@@ -400,6 +445,7 @@ criterion_group!(
     bench_noc_uniform_traffic,
     bench_noc_cycle_64x64,
     bench_noc_skip_64x64,
+    bench_noc_calendar_walk,
     bench_sim_tile_path_64x64,
     bench_sim_calendar_64x64,
     bench_sim_parallel_128x128

@@ -98,6 +98,10 @@ fn main() {
                     // so their rows omit the memory object entirely.
                     memory: outcome.memory.map(|r| MemoryColumns::from_report(&r)),
                     peak_rss_bytes: None,
+                    // The ablation outcome aggregates to cycles + energy
+                    // (the Tesseract rungs are analytical), so no walk
+                    // counters here.
+                    walk: None,
                 });
                 if let Some(prev) = previous {
                     step_speedups

@@ -26,7 +26,7 @@
 use dalorex_baseline::Workload;
 use dalorex_bench::cli::{FigureCli, FABRIC_BOUND_DRAINS};
 use dalorex_bench::datasets;
-use dalorex_bench::report::{Measurement, MemoryColumns, Table};
+use dalorex_bench::report::{Measurement, MemoryColumns, Table, WalkColumns};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_noc::Topology;
 use dalorex_sim::config::{BarrierMode, GridConfig, SimConfigBuilder};
@@ -102,6 +102,7 @@ fn main() {
                 rejected_injections: outcome.stats.noc.total_injection_rejections(),
                 memory: Some(MemoryColumns::from_report(&outcome.memory)),
                 peak_rss_bytes: None,
+                walk: Some(WalkColumns::from_stats(&outcome.stats.noc)),
             });
         }
     }

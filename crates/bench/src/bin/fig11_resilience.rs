@@ -25,7 +25,7 @@
 use dalorex_baseline::Workload;
 use dalorex_bench::cli::FigureCli;
 use dalorex_bench::datasets;
-use dalorex_bench::report::{format_factor, Measurement, Table};
+use dalorex_bench::report::{format_factor, Measurement, Table, WalkColumns};
 use dalorex_bench::runner::{run_dalorex, RunOptions};
 use dalorex_graph::datasets::DatasetLabel;
 use dalorex_sim::{FaultEvent, FaultPlan, FaultReport};
@@ -103,6 +103,7 @@ fn main() {
         rejected_injections: baseline.stats.noc.total_injection_rejections(),
         memory: None,
         peak_rss_bytes: None,
+        walk: Some(WalkColumns::from_stats(&baseline.stats.noc)),
     }];
 
     for &duration in &DURATIONS {
@@ -137,6 +138,7 @@ fn main() {
                 rejected_injections: outcome.stats.noc.total_injection_rejections(),
                 memory: None,
                 peak_rss_bytes: None,
+                walk: Some(WalkColumns::from_stats(&outcome.stats.noc)),
             });
         }
     }

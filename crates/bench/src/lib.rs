@@ -59,3 +59,4 @@ pub mod cli;
 pub mod datasets;
 pub mod report;
 pub mod runner;
+pub mod waves;

@@ -127,6 +127,34 @@ impl MemoryColumns {
     }
 }
 
+/// The walk-efficiency columns a figure row may carry: how much per-cycle
+/// router-walk work the run's scheduler actually did (ISSUE 10).  These
+/// are simulator-efficiency counters — the modeled schedule is identical
+/// across schedulers — so the BENCH series can show the due-only walk's
+/// win (and catch a regression) without touching the figure numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkColumns {
+    /// Routers the walk visited (list entries read or heap pops), summed
+    /// over all cycles.
+    pub routers_visited: u64,
+    /// Routers the walk actually port-scanned.  Equal to `routers_visited`
+    /// under the scan scheduler; the gap is the work the due stamps saved.
+    pub routers_scanned: u64,
+    /// Cycles whose walk was elided outright (calendar fast path).
+    pub walks_elided: u64,
+}
+
+impl WalkColumns {
+    /// Extracts the walk columns from a run's NoC statistics.
+    pub fn from_stats(stats: &dalorex_noc::NocStats) -> Self {
+        WalkColumns {
+            routers_visited: stats.walk_routers_visited,
+            routers_scanned: stats.walk_routers_scanned,
+            walks_elided: stats.walks_elided,
+        }
+    }
+}
+
 /// One measured cell of a figure, serializable for downstream plotting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
@@ -160,6 +188,10 @@ pub struct Measurement {
     /// catch the simulator's own footprint regressing; the figure binaries
     /// leave it `None`.
     pub peak_rss_bytes: Option<usize>,
+    /// Walk-efficiency counters of the run's router scheduler, when the
+    /// producing binary reports them (`None` for analytical baselines and
+    /// aggregated rows).
+    pub walk: Option<WalkColumns>,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -217,11 +249,21 @@ impl Measurement {
             Some(bytes) => format!(",\"peak_rss_bytes\":{bytes}"),
             None => String::new(),
         };
+        let walk = match &self.walk {
+            Some(w) => format!(
+                concat!(
+                    ",\"walk\":{{\"routers_visited\":{},",
+                    "\"routers_scanned\":{},\"walks_elided\":{}}}"
+                ),
+                w.routers_visited, w.routers_scanned, w.walks_elided,
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"experiment\":\"{}\",\"workload\":\"{}\",\"dataset\":\"{}\",",
                 "\"configuration\":\"{}\",\"cycles\":{},\"energy_j\":{},\"value\":{},",
-                "\"endpoint_drains\":{},\"rejected_injections\":{}{}{}}}"
+                "\"endpoint_drains\":{},\"rejected_injections\":{}{}{}{}}}"
             ),
             json_escape(&self.experiment),
             json_escape(&self.workload),
@@ -234,6 +276,7 @@ impl Measurement {
             self.rejected_injections,
             memory,
             peak_rss,
+            walk,
         )
     }
 }
@@ -326,6 +369,11 @@ mod tests {
                 noc_buffer_bytes: 100,
             }),
             peak_rss_bytes: Some(4096),
+            walk: Some(WalkColumns {
+                routers_visited: 500,
+                routers_scanned: 40,
+                walks_elided: 9,
+            }),
         };
         let json = m.to_json();
         assert!(json.contains("fig5-perf"));
@@ -336,6 +384,8 @@ mod tests {
         assert!(json.contains("\"memory\":{\"modeled_bytes\":1000"));
         assert!(json.contains("\"materialized_tiles\":3"));
         assert!(json.contains("\"peak_rss_bytes\":4096"));
+        assert!(json.contains("\"walk\":{\"routers_visited\":500"));
+        assert!(json.contains("\"walks_elided\":9"));
         let array = to_json_array(&[m.clone(), m]);
         assert!(array.starts_with('['));
         assert!(array.ends_with(']'));
@@ -356,11 +406,13 @@ mod tests {
             rejected_injections: 0,
             memory: None,
             peak_rss_bytes: None,
+            walk: None,
         };
         let json = m.to_json();
         assert!(json.contains("quote\\\"back\\\\slash\\nnewline"));
         assert!(json.contains("\"energy_j\":null"));
         assert!(!json.contains("\"memory\""), "absent report emits no key");
         assert!(!json.contains("peak_rss"), "absent RSS emits no key");
+        assert!(!json.contains("\"walk\""), "absent walk emits no key");
     }
 }

@@ -72,22 +72,40 @@
 //! [`Network::cycle`] keep a per-router **`next_possible` due stamp** (the
 //! min over that router's head `ready_at`s, link un-busy times, post-commit
 //! link-free times, and "next cycle" for heads blocked on full downstream
-//! buffers) plus a bucketed calendar of due routers.  A calendar cycle
-//! walks the same arbitration-order active list as the scan scheduler but
-//! skips every router whose stamp has not come due in O(1) — a dense array
-//! read instead of a port scan — and when the calendar proves *no* router
-//! is due, skips the walk entirely.  Stamps are lower bounds, so a due
-//! router may still commit nothing (it is simply re-stamped); the
-//! invariant that a stamp never overshoots the router's actual next commit
-//! is what keeps the schedule bit-identical to the scan scheduler and to
-//! [`Network::cycle_reference`], and is pinned by the cross-crate property
-//! suite via [`Network::next_possible_stamp`].
+//! buffers) plus a bucketed calendar of due routers.  Stamps are lower
+//! bounds, so a due router may still commit nothing (it is simply
+//! re-stamped); the invariant that a stamp never overshoots the router's
+//! actual next commit is what keeps the schedule bit-identical to the scan
+//! scheduler and to [`Network::cycle_reference`], and is pinned by the
+//! cross-crate property suite via [`Network::next_possible_stamp`].
+//!
+//! # The due-only walk (O(due) per cycle)
+//!
+//! The original calendar walk still traversed the *entire* active list
+//! every non-quiet cycle just to read one dense stamp per router — the
+//! sequential phase (and Amdahl limit) of the parallel engine.  The
+//! [`RouterScheduler::Calendar`](crate::RouterScheduler) walk is now
+//! **due-only**: every active router carries an epoch-numbered order key
+//! (retained routers keep theirs, in-walk activations take descending head
+//! keys, between-cycle activations ascending tail keys — so sorting by key
+//! reproduces the explicit list exactly), and a cycle drains only the due
+//! buckets, orders the due routers by key through a tiny binary heap, and
+//! port-scans exactly those.  Membership changes go through lazy
+//! tombstoning (drops decided at the router's own heap turn) plus a small
+//! dirty-set replay for endpoint-drained routers, and the walk's next-event
+//! bound for the routers it never visits comes from per-slot filed-stamp
+//! minima.  The pre-due-only walk is preserved verbatim as
+//! [`RouterScheduler::CalendarScan`](crate::RouterScheduler) — the
+//! in-binary A/B baseline (`sim_microbench`'s `due_only` vs `full_walk`
+//! rungs) and a schedule oracle for the equivalence suites.
 
 use crate::message::Message;
 use crate::router::{QueuedMessage, Router};
 use crate::stats::{NocStats, UtilizationGrid};
 use crate::topology::{Port, RoutingGrid};
 use crate::{ChannelId, NocConfig, NocError, RouterScheduler, TileId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 pub mod shard;
 
@@ -97,6 +115,23 @@ pub mod shard;
 /// only spreads entries; 64 keeps the ring a few cache lines and makes the
 /// "drain at most `WIDTH` slots after a long jump" bound cover every slot.
 const CALENDAR_WIDTH: u64 = 64;
+
+/// Origin of the due-only walk's order-key space: tail keys (between-cycle
+/// activations, appended after everything) count up from here, head keys
+/// (in-walk activations, inserted before everything) count down from here
+/// in strides of [`HEAD_STRIDE`] per walk.
+const POS_ORIGIN: u64 = 1 << 62;
+
+/// Order-key budget one walk's in-walk activations share: each walk lowers
+/// the head base by a full stride so its activations sort below every
+/// earlier walk's, and 2^32 activations per walk is unreachable (a walk
+/// activates at most one router per committed forward).
+const HEAD_STRIDE: u64 = 1 << 32;
+
+/// When the descending head base reaches this floor (after ~2^29 walks),
+/// the next walk renumbers every active router's key from the origin —
+/// O(active log active), amortized to nothing.
+const HEAD_FLOOR: u64 = 1 << 33;
 
 /// The network's contribution to the memory budget report (see
 /// [`Network::memory_report`]).
@@ -205,9 +240,15 @@ pub struct Network {
     /// space may unblock an upstream message).  `u64::MAX` means no buffered
     /// message can ever move without external action (an endpoint drain).
     next_commit_at: u64,
-    /// Whether the calendar scheduler drives [`Network::cycle`] (cached
-    /// from [`NocConfig::router_scheduler`]).
+    /// Whether a calendar scheduler drives [`Network::cycle`] (cached from
+    /// [`NocConfig::router_scheduler`]: either [`RouterScheduler::Calendar`]
+    /// or [`RouterScheduler::CalendarScan`]).
     calendar: bool,
+    /// Whether the due-only walk drives the calendar cycle
+    /// ([`RouterScheduler::Calendar`]).  When false with `calendar` true,
+    /// the preserved full-active-list walk runs instead
+    /// ([`RouterScheduler::CalendarScan`] — the A/B baseline).
+    due_only: bool,
     /// Per-router `next_possible` due stamp (calendar scheduler): the
     /// earliest cycle at which port-scanning the router could commit a
     /// forward or have any side effect.  A calendar cycle skips — without
@@ -230,11 +271,54 @@ pub struct Network {
     cal_refile: Vec<TileId>,
     /// First cycle whose bucket has not been drained yet.
     cal_head: u64,
-    /// Set when an endpoint drain empties an active router's buffers
-    /// between cycles: the next calendar cycle must walk the active list
-    /// (dropping the router exactly where the scan scheduler would) even if
-    /// no router is due.
-    membership_dirty: bool,
+    /// Order key per tile, valid only while `active[tile]` — the due-only
+    /// walk's *implicit* active list.  Retained routers keep their key, new
+    /// in-walk activations take descending head keys, between-cycle
+    /// activations take ascending tail keys, so sorting the active tiles by
+    /// key reproduces the scan scheduler's `active_list` exactly (pinned by
+    /// [`Network::debug_active_order`] and the property suite).  Allocated
+    /// only under [`RouterScheduler::Calendar`].
+    pos: Vec<u64>,
+    /// The due-only walk's per-cycle agenda: `(pos, tile)` pairs, popped in
+    /// ascending key order.  Filled by the bucket drain (due entries), the
+    /// dirty-set replay, and mid-walk wakes of not-yet-visited routers;
+    /// empty between cycles.
+    cal_heap: BinaryHeap<Reverse<(u64, TileId)>>,
+    /// Cycle at which the due-only walk last visited each tile: dedups
+    /// stale heap entries (a tile filed in several buckets, or woken after
+    /// its drain entry) in O(1).  Allocated only under
+    /// [`RouterScheduler::Calendar`].
+    cal_visited: Vec<u64>,
+    /// Key of the router the due-only walk is currently visiting: a
+    /// mid-walk wake for a router with a *larger* key joins this cycle's
+    /// heap (its turn has not come), one with a smaller key waits for its
+    /// bucket (its turn has passed) — exactly the full walk's semantics.
+    walk_cursor: u64,
+    /// True while the due-only walk is draining its heap, switching
+    /// `mark_active` to head keys and `wake_waiters` to heap insertion.
+    in_walk: bool,
+    /// Base of the current walk's head-key block (descends by
+    /// [`HEAD_STRIDE`] per walk).
+    head_base: u64,
+    /// In-walk activations so far this walk (offset within the head block).
+    head_seq: u64,
+    /// Last tail key handed out (between-cycle activations append here).
+    tail_next: u64,
+    /// Minimum due stamp filed into each calendar slot since that slot was
+    /// last drained: the due-only walk cannot read non-due routers' stamps
+    /// (it never visits them), so the min over these 64 slot minima is its
+    /// next-event bound.  Stale-low minima (an entry re-stamped upwards)
+    /// cost a spurious wakeup that the next drain corrects — never a
+    /// schedule change.  Allocated only under the calendar schedulers.
+    cal_slot_min: Vec<u64>,
+    /// Tiles whose buffers an endpoint drain emptied since the last walk:
+    /// the next calendar cycle replays exactly these (dropping each where
+    /// the scan scheduler would) instead of walking the whole list — the
+    /// PR 10 fix for the dirty-membership over-walk.
+    dirty: Vec<TileId>,
+    /// Dedup flags for `dirty` (a tile drained empty twice between walks is
+    /// replayed once).  Allocated only under the calendar schedulers.
+    dirty_pending: Vec<bool>,
     /// Calendar-scheduler refinement of the wake-on-pop flag: routers whose
     /// ready head is blocked on one of `waiters[t]`'s full buffers.  A
     /// blocked router registers itself here and sleeps (due `u64::MAX`
@@ -330,7 +414,11 @@ impl Network {
             injection_rejections_per_tile: vec![0; num_tiles],
             ..NocStats::default()
         };
-        let calendar = config.router_scheduler == RouterScheduler::Calendar;
+        let calendar = matches!(
+            config.router_scheduler,
+            RouterScheduler::Calendar | RouterScheduler::CalendarScan
+        );
+        let due_only = config.router_scheduler == RouterScheduler::Calendar;
         Network {
             grid,
             routers,
@@ -359,7 +447,30 @@ impl Network {
             },
             cal_refile: Vec::new(),
             cal_head: 0,
-            membership_dirty: false,
+            due_only,
+            pos: if due_only { vec![0; num_tiles] } else { Vec::new() },
+            cal_heap: BinaryHeap::new(),
+            cal_visited: if due_only {
+                vec![u64::MAX; num_tiles]
+            } else {
+                Vec::new()
+            },
+            walk_cursor: 0,
+            in_walk: false,
+            head_base: POS_ORIGIN,
+            head_seq: 0,
+            tail_next: POS_ORIGIN,
+            cal_slot_min: if calendar {
+                vec![u64::MAX; CALENDAR_WIDTH as usize]
+            } else {
+                Vec::new()
+            },
+            dirty: Vec::new(),
+            dirty_pending: if calendar {
+                vec![false; num_tiles]
+            } else {
+                Vec::new()
+            },
             waiters: if calendar {
                 vec![Vec::new(); num_tiles]
             } else {
@@ -465,7 +576,16 @@ impl Network {
                 .waiters
                 .iter()
                 .map(|w| w.capacity() * std::mem::size_of::<TileId>())
-                .sum::<usize>();
+                .sum::<usize>()
+            // Due-only walk state (all empty under the scan scheduler):
+            // order keys, visit stamps, the heap, slot minima and the
+            // dirty set.
+            + self.pos.len() * std::mem::size_of::<u64>()
+            + self.cal_visited.len() * std::mem::size_of::<u64>()
+            + self.cal_heap.capacity() * std::mem::size_of::<Reverse<(u64, TileId)>>()
+            + self.cal_slot_min.len() * std::mem::size_of::<u64>()
+            + self.dirty.capacity() * std::mem::size_of::<TileId>()
+            + self.dirty_pending.len();
         NocMemoryReport {
             buffer_bytes: per_router * self.routers.len(),
             calendar_bytes,
@@ -663,7 +783,36 @@ impl Network {
     fn mark_active(&mut self, tile: TileId) {
         if !self.active[tile] {
             self.active[tile] = true;
-            self.active_list.push(tile);
+            if self.due_only {
+                // The implicit list: in-walk activations take the walk's
+                // descending head block (they contend *before* every
+                // surviving router next cycle, in activation order —
+                // exactly where the explicit list pushes them while the
+                // old list is swapped out), between-cycle activations take
+                // ascending tail keys (appended after everything).
+                self.pos[tile] = if self.in_walk {
+                    self.head_seq += 1;
+                    self.head_base + self.head_seq
+                } else {
+                    self.tail_next += 1;
+                    self.tail_next
+                };
+            } else {
+                self.active_list.push(tile);
+            }
+        }
+    }
+
+    /// Queues `tile` for the next walk's dirty-set replay (an endpoint
+    /// drain emptied its buffers while it sat in the active list).  Dedup
+    /// via `dirty_pending` keeps the replay list one entry per tile no
+    /// matter how the drains interleave, which also makes the sharded
+    /// endpoint phase's merge order-insensitive.
+    #[inline]
+    fn note_membership_dirty(&mut self, tile: TileId) {
+        if !self.dirty_pending[tile] {
+            self.dirty_pending[tile] = true;
+            self.dirty.push(tile);
         }
     }
 
@@ -689,9 +838,10 @@ impl Network {
         self.buffered_count[tile] -= 1;
         if self.calendar && self.buffered_count[tile] == 0 && self.active[tile] {
             // The drain emptied an active router: the next calendar cycle
-            // must walk the list so the router is dropped at exactly the
-            // position the scan scheduler would drop it.
-            self.membership_dirty = true;
+            // must replay exactly this tile so it is dropped at the
+            // position the scan scheduler would drop it (or retained in
+            // place, if something refills it before the walk).
+            self.note_membership_dirty(tile);
         }
         // The freed ejection space may unblock an upstream waiter on the
         // next simulated cycle.
@@ -734,13 +884,16 @@ impl Network {
     ///
     /// Which per-cycle scheduler runs is selected by
     /// [`NocConfig::router_scheduler`]: the scan scheduler visits every
-    /// active router, the calendar scheduler only the routers whose
-    /// `next_possible` due stamp has come due (see
-    /// [`crate::RouterScheduler`]).  Both produce bit-identical schedules
+    /// active router, the due-only calendar scheduler only the routers
+    /// whose `next_possible` due stamp has come due, and the calendar-scan
+    /// baseline walks the full list reading a dense stamp per router (see
+    /// [`crate::RouterScheduler`]).  All produce bit-identical schedules
     /// and statistics.
     pub fn cycle(&mut self) {
-        if self.calendar {
+        if self.due_only {
             self.cycle_calendar();
+        } else if self.calendar {
+            self.cycle_calendar_scan();
         } else {
             self.cycle_scan();
         }
@@ -753,6 +906,8 @@ impl Network {
         let mut next_commit = u64::MAX;
         debug_assert!(self.active_scratch.is_empty());
         std::mem::swap(&mut self.active_list, &mut self.active_scratch);
+        self.stats.walk_routers_visited += self.active_scratch.len() as u64;
+        self.stats.walk_routers_scanned += self.active_scratch.len() as u64;
         for i in 0..self.active_scratch.len() {
             let tile = self.active_scratch[i];
             self.active[tile] = false;
@@ -781,30 +936,37 @@ impl Network {
         self.next_commit_at = next_commit.max(self.cycle);
     }
 
-    /// The calendar scheduler: port-scan only the active routers whose due
-    /// stamp has come due, skipping the rest in O(1) per router (a dense
-    /// stamp read) while walking the active list in its exact arbitration
-    /// order.  When the calendar proves no router is due — and no endpoint
-    /// drain emptied a router since the last walk — the whole walk is
-    /// skipped: the cycle is a pure counter increment, exactly like a
-    /// no-commit scan.
-    fn cycle_calendar(&mut self) {
+    /// The calendar-scan baseline ([`RouterScheduler::CalendarScan`]): the
+    /// pre-due-only calendar walk, preserved verbatim as the in-binary A/B
+    /// baseline and schedule oracle.  Port-scan only the active routers
+    /// whose due stamp has come due, but still walk the *entire* active
+    /// list every non-quiet cycle (a dense stamp read per router).  When
+    /// the calendar proves no router is due — and no endpoint drain emptied
+    /// a router since the last walk — the whole walk is skipped: the cycle
+    /// is a pure counter increment, exactly like a no-commit scan.
+    fn cycle_calendar_scan(&mut self) {
         let now = self.cycle;
         let any_due = self.drain_calendar_through(now);
-        if !any_due && !self.membership_dirty {
+        if !any_due && self.dirty.is_empty() {
             // No router can commit or needs a re-scan, and membership
             // cannot have changed: provably a no-op cycle for every active
             // router, with the list order untouched (a walk would have
             // retained every router in place).
+            self.stats.walks_elided += 1;
             self.cycle += 1;
             self.stats.cycles = self.cycle;
             self.next_commit_at = self.next_commit_at.max(self.cycle);
             return;
         }
-        self.membership_dirty = false;
+        // The full walk visits every active router, so the dirty set is
+        // subsumed by it — just clear the flags.
+        while let Some(tile) = self.dirty.pop() {
+            self.dirty_pending[tile] = false;
+        }
         let mut next_commit = u64::MAX;
         debug_assert!(self.active_scratch.is_empty());
         std::mem::swap(&mut self.active_list, &mut self.active_scratch);
+        self.stats.walk_routers_visited += self.active_scratch.len() as u64;
         for i in 0..self.active_scratch.len() {
             let tile = self.active_scratch[i];
             self.active[tile] = false;
@@ -819,6 +981,7 @@ impl Network {
                 // (a blocked head contributes nothing — the pop that frees
                 // its way wakes this router through the waiter list).
                 self.due[tile] = u64::MAX;
+                self.stats.walk_routers_scanned += 1;
                 let scan = self.scan_router(tile, now);
                 self.set_due(tile, scan.min_candidate);
                 next_commit = next_commit.min(scan.min_candidate);
@@ -848,6 +1011,149 @@ impl Network {
         self.next_commit_at = next_commit.max(self.cycle);
     }
 
+    /// The due-only calendar walk ([`RouterScheduler::Calendar`]): drain
+    /// the due buckets, order the (few) due routers by their list position
+    /// via the heap, and port-scan exactly those — O(due log due) per
+    /// cycle instead of O(active), reconstructing the scan scheduler's
+    /// arbitration order without ever touching a non-due router.
+    ///
+    /// Fidelity rests on four mechanisms, each mirroring one full-walk
+    /// behaviour:
+    /// * retained routers keep their `pos` key (the full walk's requeue
+    ///   preserves relative order);
+    /// * drops happen at the router's own heap turn, reading the buffered
+    ///   mirror *then* (an endpoint-drained router refilled before the walk
+    ///   is retained in place, exactly like the full walk would);
+    /// * mid-walk wakes of routers whose key is past the cursor join this
+    ///   cycle's heap (the full walk would reach them later in the list);
+    /// * in-walk activations take head keys below every live key (the full
+    ///   walk pushes them before the requeued survivors).
+    fn cycle_calendar(&mut self) {
+        let now = self.cycle;
+        self.maybe_compact();
+        let any_due = self.drain_calendar_through(now);
+        if !any_due && self.dirty.is_empty() {
+            debug_assert!(self.cal_heap.is_empty());
+            // No router due, no membership change pending: a provable
+            // no-op for every active router.  The next-event bound is the
+            // calendar's own future knowledge — the slot minima — because
+            // this walk never read the non-due routers' stamps.
+            self.stats.walks_elided += 1;
+            self.cycle += 1;
+            self.stats.cycles = self.cycle;
+            self.next_commit_at = self.future_bound().max(self.cycle);
+            return;
+        }
+        // Replay the dirty set: each tile contends (and makes its drop /
+        // retain decision) at its own list position.
+        while let Some(tile) = self.dirty.pop() {
+            self.dirty_pending[tile] = false;
+            if self.active[tile] {
+                self.cal_heap.push(Reverse((self.pos[tile], tile)));
+            }
+        }
+        let mut next_commit = u64::MAX;
+        let mut visited = 0u64;
+        let mut scanned = 0u64;
+        self.in_walk = true;
+        self.head_base -= HEAD_STRIDE;
+        self.head_seq = 0;
+        self.walk_cursor = 0;
+        while let Some(Reverse((key, tile))) = self.cal_heap.pop() {
+            if !self.active[tile] || self.pos[tile] != key || self.cal_visited[tile] == now {
+                // Stale entry: the tile was dropped (and possibly re-added
+                // under a fresh key) since this entry was filed, or it was
+                // already visited this cycle via another bucket.
+                continue;
+            }
+            self.cal_visited[tile] = now;
+            self.walk_cursor = key;
+            visited += 1;
+            debug_assert_eq!(
+                self.buffered_count[tile] as usize,
+                self.routers[tile].buffered_messages(),
+                "dense buffered-message mirror drifted"
+            );
+            if self.due[tile] <= now {
+                self.due[tile] = u64::MAX;
+                scanned += 1;
+                let scan = self.scan_router(tile, now);
+                self.set_due(tile, scan.min_candidate);
+                next_commit = next_commit.min(scan.min_candidate);
+            } else if self.due[tile] != u64::MAX {
+                // A dirty-replay (or stale-woken) tile that is not due:
+                // its stamp still bounds the next event.
+                next_commit = next_commit.min(self.due[tile]);
+            }
+            if self.buffered_count[tile] == 0 {
+                // Dropped at exactly the position the scan walk would drop
+                // it.  Clearing the stamp keeps the invariant that an
+                // inactive router's due is `u64::MAX`, so a later push's
+                // `schedule_due` is guaranteed to file a fresh bucket
+                // entry (stamps only ever *lower*).
+                self.active[tile] = false;
+                self.due[tile] = u64::MAX;
+            }
+        }
+        self.in_walk = false;
+        self.stats.walk_routers_visited += visited;
+        self.stats.walk_routers_scanned += scanned;
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        // Routers this walk never visited contribute through the slot
+        // minima (every live stamp has a covering slot).
+        self.next_commit_at = next_commit.min(self.future_bound()).max(self.cycle);
+    }
+
+    /// The due-only walk's next-event knowledge about routers it never
+    /// visits: the min over the calendar slots' filed-stamp minima.  A
+    /// lower bound on every live due stamp — possibly stale-low (an entry
+    /// re-stamped upwards leaves the old minimum until its slot drains),
+    /// which costs a spurious wakeup, never a schedule change.
+    fn future_bound(&self) -> u64 {
+        self.cal_slot_min.iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Renumbers every active router's order key from the origin when the
+    /// descending head-key space nears exhaustion (every ~2^29 walks).
+    /// Runs before the bucket drain, while the heap is empty and the
+    /// buckets hold plain tile ids — nothing else stores keys, so the
+    /// renumbering is invisible to the schedule.
+    fn maybe_compact(&mut self) {
+        if self.head_base > HEAD_FLOOR {
+            return;
+        }
+        let mut order: Vec<(u64, TileId)> = (0..self.active.len())
+            .filter(|&t| self.active[t])
+            .map(|t| (self.pos[t], t))
+            .collect();
+        order.sort_unstable();
+        self.head_base = POS_ORIGIN;
+        self.tail_next = POS_ORIGIN;
+        for (_, tile) in order {
+            self.tail_next += 1;
+            self.pos[tile] = self.tail_next;
+        }
+    }
+
+    /// The arbitration order the next walk would visit routers in — the
+    /// explicit `active_list` under the scan schedulers, the active tiles
+    /// sorted by order key under the due-only walk.  Test-only
+    /// introspection: the property suite asserts the two stay byte-
+    /// identical cycle by cycle.
+    pub fn debug_active_order(&self) -> Vec<TileId> {
+        if self.due_only {
+            let mut order: Vec<(u64, TileId)> = (0..self.active.len())
+                .filter(|&t| self.active[t])
+                .map(|t| (self.pos[t], t))
+                .collect();
+            order.sort_unstable();
+            order.into_iter().map(|(_, tile)| tile).collect()
+        } else {
+            self.active_list.clone()
+        }
+    }
+
     /// Lowers `tile`'s due stamp to `stamp` (push/injection events), filing
     /// it into the calendar bucket for that cycle.  No-op under the scan
     /// scheduler and for the "nothing forwardable" sentinel.
@@ -858,7 +1164,9 @@ impl Network {
         }
         if stamp < self.due[tile] {
             self.due[tile] = stamp;
-            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+            let idx = (stamp % CALENDAR_WIDTH) as usize;
+            self.cal_buckets[idx].push(tile);
+            self.cal_slot_min[idx] = self.cal_slot_min[idx].min(stamp);
         }
         self.next_commit_at = self.next_commit_at.min(stamp);
     }
@@ -876,9 +1184,29 @@ impl Network {
             return;
         }
         while let Some(waiter) = self.waiters[tile].pop() {
+            if !self.active[waiter] {
+                // Stale registration: the waiter was dropped from the list
+                // after its blocked head finally moved (the registration
+                // outlives the blockage).  There is nothing to wake — and
+                // lowering an inactive router's stamp would break the
+                // inactive ⇒ due == MAX invariant the due-only walk's
+                // re-activation path depends on (stamps only ever lower,
+                // so a poisoned-low stamp would never file a fresh bucket
+                // entry again).
+                continue;
+            }
             if stamp < self.due[waiter] {
                 self.due[waiter] = stamp;
-                self.cal_buckets[(bucket_cycle % CALENDAR_WIDTH) as usize].push(waiter);
+                if self.due_only && self.in_walk && self.pos[waiter] > self.walk_cursor {
+                    // Woken before its turn in the walk now in progress:
+                    // it contends this very cycle at its own list position
+                    // — exactly when the full walk would reach it.
+                    self.cal_heap.push(Reverse((self.pos[waiter], waiter)));
+                } else {
+                    let idx = (bucket_cycle % CALENDAR_WIDTH) as usize;
+                    self.cal_buckets[idx].push(waiter);
+                    self.cal_slot_min[idx] = self.cal_slot_min[idx].min(stamp);
+                }
             }
         }
         self.next_commit_at = self.next_commit_at.min(stamp);
@@ -891,7 +1219,9 @@ impl Network {
         debug_assert!(self.calendar);
         self.due[tile] = stamp;
         if stamp != u64::MAX {
-            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+            let idx = (stamp % CALENDAR_WIDTH) as usize;
+            self.cal_buckets[idx].push(tile);
+            self.cal_slot_min[idx] = self.cal_slot_min[idx].min(stamp);
         }
     }
 
@@ -917,11 +1247,20 @@ impl Network {
         for slot_cycle in lo..=now {
             let idx = (slot_cycle % CALENDAR_WIDTH) as usize;
             // Take the bucket out (keeping its allocation) so its entries
-            // can be validated against the dense stamps.
+            // can be validated against the dense stamps.  The slot's filed
+            // minimum resets with it; refiles re-accumulate below.
             let mut bucket = std::mem::take(&mut self.cal_buckets[idx]);
+            self.cal_slot_min[idx] = u64::MAX;
             for &tile in &bucket {
                 if self.due[tile] <= now {
                     any_due = true;
+                    if self.due_only {
+                        // The walk's agenda: due routers, ordered by their
+                        // list position.  Duplicates (a tile filed in two
+                        // drained slots) dedup at the pop via the
+                        // visited stamp.
+                        self.cal_heap.push(Reverse((self.pos[tile], tile)));
+                    }
                 } else if self.due[tile] != u64::MAX {
                     // Re-stamped into the future since this entry was
                     // filed: keep it alive in its new bucket.
@@ -934,7 +1273,9 @@ impl Network {
         let mut refile = std::mem::take(&mut self.cal_refile);
         for &tile in &refile {
             let stamp = self.due[tile];
-            self.cal_buckets[(stamp % CALENDAR_WIDTH) as usize].push(tile);
+            let idx = (stamp % CALENDAR_WIDTH) as usize;
+            self.cal_buckets[idx].push(tile);
+            self.cal_slot_min[idx] = self.cal_slot_min[idx].min(stamp);
         }
         refile.clear();
         self.cal_refile = refile;
@@ -1955,6 +2296,95 @@ mod tests {
             guard += 1;
             assert!(guard < 10_000);
         }
+    }
+
+    fn small_calendar_scan_net(topology: Topology) -> Network {
+        Network::new(
+            NocConfig::new(GridShape::new(4, 4), topology)
+                .with_router_scheduler(RouterScheduler::CalendarScan),
+        )
+    }
+
+    /// The dirty-membership bugfix in miniature: when a single endpoint
+    /// drain empties one router and nothing is due, the due-only walk
+    /// replays exactly that router — it does not visit all N active
+    /// routers the way the full calendar walk does.  The modelled schedule
+    /// is identical either way (`NocStats` equality ignores walk counters).
+    #[test]
+    fn dirty_membership_replays_only_the_drained_router() {
+        let mut due_only = small_calendar_net(Topology::Torus);
+        let mut full_walk = small_calendar_scan_net(Topology::Torus);
+        for net in [&mut due_only, &mut full_walk] {
+            // One-hop messages that nobody drains: every destination router
+            // ends up active (a message parked in its ejection buffer) but
+            // never due again.
+            for tile in 0..16usize {
+                net.try_inject(tile, Message::new((tile + 1) % 16, 0, vec![tile as u32]))
+                    .unwrap();
+            }
+            let mut guard = 0;
+            while net.in_flight() > 0 {
+                net.cycle();
+                guard += 1;
+                assert!(guard < 1_000);
+            }
+            // Let every still-filed due stamp (delivery-cycle residue) fire
+            // and resolve to "nothing forwardable" so only parked ejection
+            // messages remain.
+            for _ in 0..64 {
+                net.cycle();
+            }
+        }
+        assert_eq!(due_only.awaiting_ejection(), 16);
+        // With every message parked, the walk is elided outright.
+        let elided = (due_only.stats().walks_elided, full_walk.stats().walks_elided);
+        due_only.cycle();
+        full_walk.cycle();
+        assert_eq!(due_only.stats().walks_elided, elided.0 + 1);
+        assert_eq!(full_walk.stats().walks_elided, elided.1 + 1);
+        // Both schedulers agree on the retained membership: the routers
+        // whose ejection message arrived before their own walk-turn drop
+        // (a delivery alone never re-adds a router, same as the scan
+        // scheduler).  Tile 5 must be among them for the drain below to
+        // exercise the dirty path.
+        let members = due_only.debug_active_order();
+        assert_eq!(members, full_walk.debug_active_order());
+        assert!(members.len() > 1, "need several active routers: {members:?}");
+        assert!(members.contains(&5));
+        // Drain ONE tile; its router empties and must leave the membership.
+        due_only.pop_delivered(5).unwrap();
+        full_walk.pop_delivered(5).unwrap();
+        let visited = (
+            due_only.stats().walk_routers_visited,
+            full_walk.stats().walk_routers_visited,
+        );
+        let scanned = (
+            due_only.stats().walk_routers_scanned,
+            full_walk.stats().walk_routers_scanned,
+        );
+        due_only.cycle();
+        full_walk.cycle();
+        // The due-only walk replays just the dirty router; the preserved
+        // full walk reads a stamp for every active router.
+        assert_eq!(
+            due_only.stats().walk_routers_visited - visited.0,
+            1,
+            "1-router drain must not visit all {} active routers",
+            members.len()
+        );
+        assert_eq!(
+            full_walk.stats().walk_routers_visited - visited.1,
+            members.len() as u64
+        );
+        // Neither walk port-scanned anything (nothing was due)...
+        assert_eq!(due_only.stats().walk_routers_scanned, scanned.0);
+        assert_eq!(full_walk.stats().walk_routers_scanned, scanned.1);
+        // ...and the modelled schedules are identical.
+        assert_eq!(due_only.stats(), full_walk.stats());
+        assert_eq!(due_only.debug_active_order(), full_walk.debug_active_order());
+        // The drained router is gone from both active orders.
+        assert!(!due_only.debug_active_order().contains(&5));
+        assert_eq!(due_only.debug_active_order().len(), members.len() - 1);
     }
 
     /// Drives the same traffic through the event-driven cycle and the

@@ -37,11 +37,14 @@
 //!
 //! Two reads make the split sound beyond the own-tile argument:
 //!
-//! * `pop_delivered_on` reads `active[tile]` to decide `membership_dirty`.
-//!   During an endpoint phase `active[t]` can only change via `t`'s *own*
-//!   injections (deferred to the replay), and every caller drains before it
-//!   injects, so the frozen pre-phase value is exactly what a sequential
-//!   interleaving would have read.
+//! * `pop_delivered_on` reads `active[tile]` to decide whether the tile
+//!   joins the calendar's dirty-membership replay set.  During an endpoint
+//!   phase `active[t]` can only change via `t`'s *own* injections (deferred
+//!   to the replay), and every caller drains before it injects, so the
+//!   frozen pre-phase value is exactly what a sequential interleaving would
+//!   have read.  The dirty set itself is order-insensitive (the walk orders
+//!   it by list position, and duplicates dedup on the network side), so the
+//!   per-shard lists merge commutatively.
 //! * `try_inject` routes via the immutable coordinate/geometry tables,
 //!   which mention remote tiles but never their mutable state.
 
@@ -151,7 +154,10 @@ pub struct ShardBuffers {
     awaiting_delta: i64,
     in_flight_delta: i64,
     next_commit_min: u64,
-    membership_dirty: bool,
+    /// Tiles this shard's drains emptied while active: merged into the
+    /// network's dirty-membership replay set (commutative — the set dedups
+    /// and the walk orders by list position).
+    dirty: Vec<TileId>,
 }
 
 impl Default for ShardBuffers {
@@ -168,7 +174,7 @@ impl Default for ShardBuffers {
             awaiting_delta: 0,
             in_flight_delta: 0,
             next_commit_min: u64::MAX,
-            membership_dirty: false,
+            dirty: Vec::new(),
         }
     }
 }
@@ -186,7 +192,7 @@ impl ShardBuffers {
         self.awaiting_delta = 0;
         self.in_flight_delta = 0;
         self.next_commit_min = u64::MAX;
-        self.membership_dirty = false;
+        self.dirty.clear();
     }
 }
 
@@ -278,7 +284,7 @@ impl TileEndpoint for EndpointShard<'_> {
         self.buf.awaiting_delta -= 1;
         self.buffered_count[local] -= 1;
         if self.calendar && self.buffered_count[local] == 0 && self.active[tile] {
-            self.buf.membership_dirty = true;
+            self.buf.dirty.push(tile);
         }
         self.buf.intents.push((tile, Intent::WakeWaiters));
         self.drain_versions[local] = self.drain_versions[local].wrapping_add(1);
@@ -497,7 +503,9 @@ impl Network {
                 .checked_add_signed(buf.in_flight_delta)
                 .expect("in-flight count underflow");
             self.next_commit_at = self.next_commit_at.min(buf.next_commit_min);
-            self.membership_dirty |= buf.membership_dirty;
+            while let Some(tile) = buf.dirty.pop() {
+                self.note_membership_dirty(tile);
+            }
         }
     }
 }

@@ -560,6 +560,34 @@ impl Simulation {
     }
 
     fn run_with(&self, kernel: &dyn Kernel, engine: Engine) -> Result<SimOutcome, SimError> {
+        let scheduler = if engine == Engine::Calendar {
+            RouterScheduler::Calendar
+        } else {
+            RouterScheduler::Scan
+        };
+        self.run_with_scheduler(kernel, engine, scheduler)
+    }
+
+    /// Runs the calendar engine over the *pre-due-only* full calendar walk
+    /// ([`RouterScheduler::CalendarScan`]): identical due stamps and
+    /// buckets, but every non-quiet cycle reads a dense stamp for the whole
+    /// active list.  This is the in-binary A/B baseline the due-only
+    /// microbenches measure against and the schedule oracle the equivalence
+    /// square pins the new walk to.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_calendar_scan(&self, kernel: &dyn Kernel) -> Result<SimOutcome, SimError> {
+        self.run_with_scheduler(kernel, Engine::Calendar, RouterScheduler::CalendarScan)
+    }
+
+    fn run_with_scheduler(
+        &self,
+        kernel: &dyn Kernel,
+        engine: Engine,
+        scheduler: RouterScheduler,
+    ) -> Result<SimOutcome, SimError> {
         if let Engine::Parallel { workers } = engine {
             return self.run_parallel(kernel, workers);
         }
@@ -579,14 +607,7 @@ impl Simulation {
             mut active_list,
             mut active_scratch,
             mut delivery_events,
-        } = self.prepare(
-            kernel,
-            if engine == Engine::Calendar {
-                RouterScheduler::Calendar
-            } else {
-                RouterScheduler::Scan
-            },
-        )?;
+        } = self.prepare(kernel, scheduler)?;
 
         let mut cycle: u64 = 0;
         let mut epochs: u64 = 0;

@@ -480,10 +480,101 @@ proptest! {
     }
 
     #[test]
+    fn due_only_walk_preserves_active_list_order(
+        messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..80),
+        drains in 1usize..4,
+        torus in proptest::bool::ANY,
+    ) {
+        // The arbitration-order invariant behind the due-only walk (ISSUE
+        // 10): the implicit position keys, sorted, reproduce the scan
+        // scheduler's explicit `active_list` byte for byte — every cycle,
+        // under arbitrary traffic with endpoint-drain membership churn
+        // (drops, re-adds, mid-walk wakes).  The calendar-scan baseline
+        // keeps a real list and must agree too.  Any divergence here is a
+        // future schedule divergence even if this cycle's commits matched.
+        let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let config = NocConfig::new(GridShape::new(4, 4), topology)
+            .with_ejection_buffer_flits(8);
+        let mut scan = Network::new(config.clone());
+        let mut due_only = Network::new(
+            config.clone().with_router_scheduler(RouterScheduler::Calendar),
+        );
+        let mut full_walk = Network::new(
+            config.with_router_scheduler(RouterScheduler::CalendarScan),
+        );
+        let seed_pending: Vec<(usize, Message)> = messages
+            .into_iter()
+            .map(|(src, dst, len, seed)| {
+                (src, Message::new(dst, (seed % 4) as usize, vec![seed; len]))
+            })
+            .collect();
+        let mut pendings = [seed_pending.clone(), seed_pending.clone(), seed_pending];
+        let mut guard = 0;
+        while !scan.quiescent()
+            || !due_only.quiescent()
+            || !full_walk.quiescent()
+            || pendings.iter().any(|p| !p.is_empty())
+        {
+            for (net, pending) in [&mut scan, &mut due_only, &mut full_walk]
+                .into_iter()
+                .zip(pendings.iter_mut())
+            {
+                let mut retry = Vec::new();
+                for (src, msg) in pending.drain(..) {
+                    if let Err(rejected) = net.try_inject(src, msg) {
+                        retry.push((src, rejected.message));
+                    }
+                }
+                *pending = retry;
+                net.cycle();
+            }
+            prop_assert_eq!(
+                due_only.debug_active_order(),
+                scan.debug_active_order(),
+                "due-only position order diverged from the scan list at cycle {}",
+                scan.current_cycle()
+            );
+            prop_assert_eq!(
+                full_walk.debug_active_order(),
+                scan.debug_active_order(),
+                "calendar-scan list diverged from the scan list at cycle {}",
+                scan.current_cycle()
+            );
+            for tile in 0..16 {
+                for _ in 0..drains {
+                    let a = scan.pop_delivered(tile);
+                    let b = due_only.pop_delivered(tile);
+                    let c = full_walk.pop_delivered(tile);
+                    prop_assert_eq!(
+                        a.as_ref().map(|m| m.payload().to_vec()),
+                        b.as_ref().map(|m| m.payload().to_vec()),
+                        "due-only delivery diverged at tile {}", tile
+                    );
+                    prop_assert_eq!(
+                        a.as_ref().map(|m| m.payload().to_vec()),
+                        c.as_ref().map(|m| m.payload().to_vec()),
+                        "calendar-scan delivery diverged at tile {}", tile
+                    );
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 50_000, "networks never quiesced");
+        }
+        prop_assert_eq!(scan.stats(), due_only.stats());
+        prop_assert_eq!(scan.stats(), full_walk.stats());
+        prop_assert_eq!(scan.flits_per_router(), due_only.flits_per_router());
+        prop_assert_eq!(scan.flits_per_router(), full_walk.flits_per_router());
+    }
+
+    #[test]
     fn calendar_due_stamps_never_overshoot_commits(
         messages in proptest::collection::vec((0usize..16, 0usize..16, 1usize..4, 1u32..1000), 1..60),
         drains in 1usize..4,
         torus in proptest::bool::ANY,
+        due_only in proptest::bool::ANY,
     ) {
         // The calendar invariant (ISSUE 5): a router's `next_possible` due
         // stamp is a *lower bound* on its next commit — whenever a router
@@ -491,12 +582,19 @@ proptest! {
         // during a cycle), the stamp it carried entering that cycle must
         // have come due.  An overshooting stamp would mean the calendar
         // walk could skip a router that the scan scheduler would commit,
-        // silently changing the schedule.
+        // silently changing the schedule.  ISSUE 10 extends the invariant
+        // to the due-only walk, where an overshoot no longer merely skips
+        // a stamp read — the router is never even visited.
         let topology = if torus { Topology::Torus } else { Topology::Mesh };
+        let scheduler = if due_only {
+            RouterScheduler::Calendar
+        } else {
+            RouterScheduler::CalendarScan
+        };
         let mut net = Network::new(
             NocConfig::new(GridShape::new(4, 4), topology)
                 .with_ejection_buffer_flits(8)
-                .with_router_scheduler(RouterScheduler::Calendar),
+                .with_router_scheduler(scheduler),
         );
         let mut pending: Vec<(usize, Message)> = messages
             .into_iter()

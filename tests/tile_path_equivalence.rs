@@ -42,29 +42,43 @@ fn assert_paths_identical(sim: &Simulation, workload: Workload, label: &str) -> 
         .chain([Engine::Parallel { workers: 2 }, Engine::Parallel { workers: 3 }]);
     for engine in engines {
         let outcome = sim.run_with_engine(kernel.as_ref(), engine).unwrap();
-        assert_eq!(
-            outcome.cycles, reference.cycles,
-            "{label}/{engine}: cycles diverged"
-        );
-        assert_eq!(
-            outcome.output, reference.output,
-            "{label}/{engine}: outputs diverged"
-        );
-        assert_eq!(
-            outcome.stats, reference.stats,
-            "{label}/{engine}: statistics diverged"
-        );
-        assert_eq!(
-            outcome.total_energy_j(),
-            reference.total_energy_j(),
-            "{label}/{engine}: energy diverged"
-        );
-        assert_eq!(
-            outcome.fault, reference.fault,
-            "{label}/{engine}: fault reports diverged"
-        );
+        assert_outcomes_match(&outcome, &reference, &format!("{label}/{engine}"));
     }
+    // Both router schedulers: the calendar engine under the preserved
+    // full-walk baseline (`RouterScheduler::CalendarScan`) must reproduce
+    // the square too — it is the schedule oracle the due-only walk is
+    // pinned to, so a divergence here localizes a bug to the walk itself.
+    let baseline = sim.run_calendar_scan(kernel.as_ref()).unwrap();
+    assert_outcomes_match(&baseline, &reference, &format!("{label}/calendar-scan"));
     reference.cycles
+}
+
+fn assert_outcomes_match(
+    outcome: &dalorex::sim::SimOutcome,
+    reference: &dalorex::sim::SimOutcome,
+    label: &str,
+) {
+    assert_eq!(
+        outcome.cycles, reference.cycles,
+        "{label}: cycles diverged"
+    );
+    assert_eq!(
+        outcome.output, reference.output,
+        "{label}: outputs diverged"
+    );
+    assert_eq!(
+        outcome.stats, reference.stats,
+        "{label}: statistics diverged"
+    );
+    assert_eq!(
+        outcome.total_energy_j(),
+        reference.total_energy_j(),
+        "{label}: energy diverged"
+    );
+    assert_eq!(
+        outcome.fault, reference.fault,
+        "{label}: fault reports diverged"
+    );
 }
 
 fn graph() -> CsrGraph {
@@ -167,6 +181,37 @@ fn fast_path_matches_reference_under_tight_buffers() {
         .unwrap();
     let sim = Simulation::new(config, &graph).unwrap();
     assert_paths_identical(&sim, Workload::Sssp { root: 0 }, "tight-buffers");
+}
+
+/// The worst case for due-stamp churn (ISSUE 10): traffic that alternates
+/// between dense waves (every router active and due nearly every cycle —
+/// the due-only heap at its fullest) and sparse trickles (long elided
+/// stretches where membership changes arrive via the dirty set).
+/// Epoch-barrier PageRank produces exactly that shape — a burst of rank
+/// updates per epoch, then a global quiesce before the barrier releases
+/// the next wave — and tight ejection buffers plus a 2-wide endpoint
+/// budget add blocked-head waiter churn on top.  All five engines (and
+/// both router schedulers, via `assert_paths_identical`) must stay
+/// bit-identical through the alternation.
+#[test]
+fn engines_agree_on_alternating_sparse_dense_traffic() {
+    let graph = graph();
+    for topology in [Topology::Mesh, Topology::Torus] {
+        let config = SimConfigBuilder::new(GridConfig::square(4))
+            .scratchpad_bytes(1 << 20)
+            .topology(topology)
+            .barrier_mode(BarrierMode::EpochBarrier)
+            .noc_ejection_flits(8)
+            .endpoint_drains_per_cycle(2)
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config, &graph).unwrap();
+        assert_paths_identical(
+            &sim,
+            Workload::PageRank { epochs: 5 },
+            &format!("sparse-dense-alternation/{topology:?}"),
+        );
+    }
 }
 
 /// Lazy tile-arena allocation must be schedule-invisible: the eager-init
